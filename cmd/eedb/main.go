@@ -1,0 +1,105 @@
+// Command eedb is a SQL REPL over an energy-aware database on a simulated
+// server: every query prints its rows, simulated elapsed time, and joules.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"energydb"
+)
+
+func main() {
+	objective := flag.String("objective", "time", "optimizer objective: time, energy, edp")
+	disks := flag.Int("disks", 4, "number of disks on the simulated server")
+	sf := flag.Float64("tpch", 0, "preload TPC-H at this scale factor (0 = none)")
+	flag.Parse()
+
+	cfg := energydb.Config{Server: energydb.SmallServer(*disks)}
+	switch *objective {
+	case "time":
+		cfg.Objective = energydb.MinTime
+	case "energy":
+		cfg.Objective = energydb.MinEnergy
+	case "edp":
+		cfg.Objective = energydb.MinEDP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown objective %q\n", *objective)
+		os.Exit(1)
+	}
+	db, err := energydb.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *sf > 0 {
+		for _, t := range energydb.GenerateTPCH(*sf, 42) {
+			if err := db.LoadTable(t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("loaded TPC-H sf=%v: %s\n", *sf, strings.Join(db.Tables(), ", "))
+	}
+
+	fmt.Println("eedb — energy-aware SQL shell (end statements with ';', \\q to quit)")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("eedb> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			fmt.Print("  ... ")
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		res, err := db.Exec(stmt)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			printResult(res)
+		}
+		fmt.Print("eedb> ")
+	}
+}
+
+func printResult(res *energydb.Result) {
+	if res.Plan != nil && res.Rows == nil {
+		fmt.Print(res.Plan.Explain())
+		return
+	}
+	if res.Rows != nil {
+		for _, c := range res.Rows.Schema.Cols {
+			fmt.Printf("%-18s", c.Name)
+		}
+		fmt.Println()
+		n := res.Rows.Rows()
+		shown := n
+		if shown > 25 {
+			shown = 25
+		}
+		for i := 0; i < shown; i++ {
+			for _, v := range res.Rows.Slice(i, i+1).Row(0) {
+				fmt.Printf("%-18s", v.String())
+			}
+			fmt.Println()
+		}
+		if shown < n {
+			fmt.Printf("... (%d rows)\n", n)
+		}
+		fmt.Printf("%d row(s) in %v, %v (%.3g rows/J)\n",
+			n, res.Elapsed, res.Joules, float64(res.Efficiency()))
+		return
+	}
+	fmt.Println("ok")
+}

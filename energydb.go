@@ -1,0 +1,123 @@
+// Package energydb is an energy-aware relational database engine running
+// on simulated, power-metered hardware — a from-scratch reproduction of
+// the system envisioned by Harizopoulos, Meza, Shah and Ranganathan in
+// "Energy Efficiency: The New Holy Grail of Data Management Systems
+// Research" (CIDR 2009).
+//
+// The engine is real (SQL front end, cost-based optimizer, vectorised
+// executor, compression, buffer pool, WAL); the hardware is a
+// deterministic discrete-event simulation with calibrated 2008-era device
+// models, so every query returns joules alongside rows:
+//
+//	db, _ := energydb.Open(energydb.Config{Server: energydb.SmallServer(4)})
+//	db.Exec("CREATE TABLE t (a BIGINT, b DOUBLE)")
+//	db.Exec("INSERT INTO t VALUES (1, 2.5)")
+//	res, _ := db.Exec("SELECT a FROM t WHERE b > 1")
+//	fmt.Println(res.Elapsed, res.Joules)
+//
+// The optimizer prices every plan in both seconds and joules; switch
+// Config.Objective to MinEnergy to make it optimise the paper's way.
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured results.
+package energydb
+
+import (
+	"energydb/internal/core"
+	"energydb/internal/hw"
+	"energydb/internal/opt"
+	"energydb/internal/storage"
+	"energydb/internal/table"
+	"energydb/internal/tpch"
+)
+
+// Config selects the simulated hardware and engine policies.
+type Config = core.Config
+
+// DB is an open energy-aware database over one simulated server.
+type DB = core.DB
+
+// Result is a completed query with its energy account.
+type Result = core.Result
+
+// Open builds the simulated machine and an empty database on it.
+func Open(cfg Config) (*DB, error) { return core.Open(cfg) }
+
+// Optimizer objectives.
+const (
+	// MinTime optimises for speed, the classical objective.
+	MinTime = opt.MinTime
+	// MinEnergy optimises for joules, the paper's proposal.
+	MinEnergy = opt.MinEnergy
+	// MinEDP optimises the energy-delay product.
+	MinEDP = opt.MinEDP
+)
+
+// Volume layouts.
+const (
+	// Striped is RAID-0.
+	Striped = storage.Striped
+	// RAID5 uses rotating parity with the classic write penalty.
+	RAID5 = storage.RAID5
+)
+
+// Server specs from the device catalog.
+var (
+	// DL785 is the paper's Figure 1 machine (8x quad-core Opteron, 64 GB,
+	// N 15K-RPM SCSI disks).
+	DL785 = hw.DL785
+	// ScanRig is the paper's Figure 2 machine (one 90 W CPU, three flash
+	// SSDs totalling 5 W).
+	ScanRig = hw.ScanRig
+	// SmallServer is a modest 8-core box for examples and tests.
+	SmallServer = hw.SmallServer
+)
+
+// Schema and column constructors for LoadTable users.
+type (
+	// Schema describes a relation.
+	Schema = table.Schema
+	// Table is an in-memory relation.
+	Table = table.Table
+	// Value is one typed datum.
+	Value = table.Value
+)
+
+// NewSchema builds a schema from columns.
+var NewSchema = table.NewSchema
+
+// NewTable builds an empty in-memory table.
+var NewTable = table.NewTable
+
+// Column constructors.
+var (
+	Col  = table.Col
+	ColW = table.ColW
+)
+
+// Value constructors.
+var (
+	IntVal     = table.IntVal
+	FloatVal   = table.FloatVal
+	StrVal     = table.StrVal
+	DateVal    = table.DateVal
+	DecimalVal = table.DecimalVal
+)
+
+// Column types.
+const (
+	Int64   = table.Int64
+	Float64 = table.Float64
+	String  = table.String
+	Date    = table.Date
+	Decimal = table.Decimal
+)
+
+// GenerateTPCH builds the deterministic TPC-H-like dataset at a scale
+// factor; load its tables with DB.LoadTable.
+func GenerateTPCH(sf float64, seed int64) map[string]*Table {
+	return tpch.Generate(sf, seed).Tables
+}
+
+// TPCHQueries returns the named simplified TPC-H queries ("q1", "q3",
+// "q5", "q6", "scan") in the engine's SQL dialect.
+func TPCHQueries() map[string]string { return tpch.Queries() }

@@ -1,0 +1,29 @@
+// The §4.2 story: consolidating work in time (admission batching) and in
+// space (cluster packing) creates idle periods long enough to power
+// hardware down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energydb/internal/bench"
+)
+
+func main() {
+	c, err := bench.RunConsolidation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(c.Render())
+	fmt.Println()
+
+	cl, err := bench.RunCluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(cl.Render())
+	fmt.Println()
+	fmt.Println("Batching buys disk spin-downs with latency; packing tenants onto fewer")
+	fmt.Println("nodes buys whole-server power-downs with migration energy.")
+}

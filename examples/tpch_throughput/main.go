@@ -1,0 +1,21 @@
+// The paper's Figure 1 story: sweep the number of disks under a TPC-H
+// throughput test and find the energy-efficiency knee at an interior
+// configuration — the fastest system is not the most efficient one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"energydb/internal/bench"
+)
+
+func main() {
+	res, err := bench.RunFigure1(bench.Figure1Config{SF: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	fmt.Println()
+	fmt.Printf("Every disk beyond %d adds more watts than it removes seconds.\n", res.Best().Disks)
+}

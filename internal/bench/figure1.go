@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+
+	"energydb/internal/core"
+	"energydb/internal/energy"
+	"energydb/internal/exec"
+	"energydb/internal/hw"
+	"energydb/internal/opt"
+	"energydb/internal/sim"
+	"energydb/internal/storage"
+	"energydb/internal/tpch"
+)
+
+// Figure1Config parameterises the paper's diminishing-returns experiment:
+// the TPC-H throughput test on a DL785-class server while the database is
+// re-partitioned across different numbers of disks.
+type Figure1Config struct {
+	SF         float64 // scale factor (default 0.03)
+	DiskCounts []int   // default {36, 66, 108, 204}, as in the paper
+	Streams    int     // concurrent query clients (default 8)
+	Rounds     int     // passes through the mix per stream (default 1)
+	Seed       int64
+}
+
+// Figure1Point is one disk-count configuration's measurement.
+type Figure1Point struct {
+	Disks      int
+	Seconds    float64
+	Joules     float64
+	Efficiency float64 // 1/J for the fixed throughput-test work
+	AvgPowerW  float64
+	Queries    int64
+}
+
+// Figure1Result reproduces Figure 1.
+type Figure1Result struct {
+	Points  []Figure1Point
+	BestIdx int // index of the most energy-efficient point
+}
+
+// Best returns the most efficient point.
+func (r *Figure1Result) Best() Figure1Point { return r.Points[r.BestIdx] }
+
+// Fastest returns the highest-performance (largest-disk) point.
+func (r *Figure1Result) Fastest() Figure1Point {
+	best := r.Points[0]
+	for _, p := range r.Points[1:] {
+		if p.Seconds < best.Seconds {
+			best = p
+		}
+	}
+	return best
+}
+
+// EEGainVsFastest reports the efficiency gain of the optimum over the
+// fastest configuration (paper: +14%).
+func (r *Figure1Result) EEGainVsFastest() float64 {
+	return r.Best().Efficiency/r.Fastest().Efficiency - 1
+}
+
+// PerfDropVsFastest reports the performance loss at the optimum
+// (paper: −45%).
+func (r *Figure1Result) PerfDropVsFastest() float64 {
+	return 1 - r.Fastest().Seconds/r.Best().Seconds
+}
+
+// RunFigure1 sweeps the disk counts, running the full engine (SQL →
+// optimizer → executor) on the simulated DL785 for each configuration.
+func RunFigure1(cfg Figure1Config) (*Figure1Result, error) {
+	if cfg.SF == 0 {
+		cfg.SF = 0.03
+	}
+	if len(cfg.DiskCounts) == 0 {
+		cfg.DiskCounts = []int{36, 66, 108, 204}
+	}
+	if cfg.Streams == 0 {
+		cfg.Streams = 24
+	}
+	if cfg.Rounds == 0 {
+		cfg.Rounds = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2009
+	}
+	gen := tpch.Generate(cfg.SF, cfg.Seed)
+
+	res := &Figure1Result{}
+	for _, n := range cfg.DiskCounts {
+		pt, err := runThroughputPoint(gen, n, cfg.Streams, cfg.Rounds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %d disks: %w", n, err)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	for i, p := range res.Points {
+		if p.Efficiency > res.Points[res.BestIdx].Efficiency {
+			res.BestIdx = i
+		}
+	}
+	return res, nil
+}
+
+// runThroughputPoint runs the throughput test once on an N-disk DL785.
+func runThroughputPoint(gen *tpch.DB, disks, streams, rounds int) (Figure1Point, error) {
+	db, err := core.Open(core.Config{
+		Server:       hw.DL785(disks),
+		VolumeLayout: storage.RAID5,
+		PageBytes:    64 << 10,
+		BlockRows:    8192,
+		Objective:    opt.MinTime, // the audited system tuned for speed
+		// The audited system was a commercial *row store* whose
+		// compression shrank 300 GB only to 256 GB (1.17x); the
+		// uncompressed row placement — all columns travelling together,
+		// pipelined readahead — is the closest model of its scans.
+		Variants: []string{"row/raw"},
+		// 2008-era host I/O ceiling: the MSA70 trays share x4 3Gb/s SAS
+		// links and the host's PCIe/HT paths; ~1.5 GB/s aggregate after
+		// RAID-5 and protocol overheads.
+		HostIOBandwidth: 1.5e9,
+		// Commercial-controller transfer cap: 128 KB per request.
+		IORunPages: 2,
+	})
+	if err != nil {
+		return Figure1Point{}, err
+	}
+	for _, t := range gen.Tables {
+		if err := db.LoadTable(t); err != nil {
+			return Figure1Point{}, err
+		}
+	}
+	// Compile the mix once (this also places the tables).
+	mix := tpch.ThroughputMix()
+	plans := make([]*opt.Plan, len(mix))
+	for i, q := range mix {
+		p, err := db.CompileSelect(q)
+		if err != nil {
+			return Figure1Point{}, fmt.Errorf("query %d: %w", i, err)
+		}
+		plans[i] = p
+	}
+
+	var queries int64
+	errs := make([]error, streams)
+	for s := 0; s < streams; s++ {
+		s := s
+		db.Go(fmt.Sprintf("stream%d", s), func(p *sim.Proc) {
+			ctx := db.NewCtx(p)
+			for r := 0; r < rounds; r++ {
+				for qi := range plans {
+					plan := plans[(qi+s)%len(plans)] // rotate per stream
+					op, err := plan.Build(ctx)
+					if err != nil {
+						errs[s] = err
+						return
+					}
+					if _, err := exec.RowCount(ctx, op); err != nil {
+						errs[s] = err
+						return
+					}
+					queries++
+				}
+			}
+		})
+	}
+	if err := db.Run(); err != nil {
+		return Figure1Point{}, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return Figure1Point{}, e
+		}
+	}
+	elapsed := db.Srv.Eng.Now()
+	joules := float64(db.Srv.Meter.TotalEnergy(energy.Seconds(elapsed)))
+	return Figure1Point{
+		Disks:      disks,
+		Seconds:    elapsed,
+		Joules:     joules,
+		Efficiency: 1 / joules,
+		AvgPowerW:  joules / elapsed,
+		Queries:    queries,
+	}, nil
+}
+
+// Render prints the Figure 1 series.
+func (r *Figure1Result) Render() string {
+	t := NewTable("Figure 1 — TPC-H throughput test: time and energy efficiency vs number of disks (DL785, RAID-5)",
+		"disks", "time(s)", "energy(J)", "EE(1/J)", "avg power(W)", "queries")
+	for i, p := range r.Points {
+		mark := ""
+		if i == r.BestIdx {
+			mark = "  <-- most efficient"
+		}
+		t.Add(
+			fmt.Sprintf("%d", p.Disks),
+			fmt.Sprintf("%.4g", p.Seconds),
+			fmt.Sprintf("%.5g", p.Joules),
+			fmt.Sprintf("%.4g%s", p.Efficiency, mark),
+			fmt.Sprintf("%.4g", p.AvgPowerW),
+			fmt.Sprintf("%d", p.Queries),
+		)
+	}
+	t.Add("")
+	t.Add(fmt.Sprintf("optimum vs fastest: EE %+.1f%%, performance %+.1f%%   [paper: +14%%, -45%%]",
+		100*r.EEGainVsFastest(), -100*r.PerfDropVsFastest()))
+	return t.String()
+}

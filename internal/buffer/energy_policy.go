@@ -1,0 +1,78 @@
+package buffer
+
+import "container/list"
+
+// energyAware ranks eviction victims by the energy a re-fetch would cost:
+// when memory pressure forces a choice, it evicts the page whose re-read
+// is cheapest in joules (e.g. a sequential flash page) and keeps pages
+// whose re-read is expensive (a random 15K-RPM disk page, or worse, one on
+// a spun-down disk that would force a spin-up).
+//
+// This is the §4.3 redesign: "With energy savings in mind, the access
+// costs of memory hierarchy levels are going to be different." Recency
+// still breaks ties so the policy degrades to LRU when all pages cost the
+// same.
+type energyAware struct {
+	order   *list.List // front = most recent, used for tie-breaks
+	elems   map[PageKey]*list.Element
+	refetch map[PageKey]float64 // joules to re-fetch
+}
+
+// NewEnergyAware returns the energy-aware replacement policy. Callers
+// register per-page re-fetch costs with SetRefetchCost via the Pool;
+// unregistered pages default to cost 0 (cheapest, evicted first).
+func NewEnergyAware() Policy {
+	return &energyAware{
+		order:   list.New(),
+		elems:   make(map[PageKey]*list.Element),
+		refetch: make(map[PageKey]float64),
+	}
+}
+
+func (p *energyAware) Name() string { return "energy" }
+
+func (p *energyAware) Inserted(k PageKey) { p.elems[k] = p.order.PushFront(k) }
+
+func (p *energyAware) Touched(k PageKey) {
+	if e, ok := p.elems[k]; ok {
+		p.order.MoveToFront(e)
+	}
+}
+
+func (p *energyAware) Removed(k PageKey) {
+	if e, ok := p.elems[k]; ok {
+		p.order.Remove(e)
+		delete(p.elems, k)
+	}
+	delete(p.refetch, k)
+}
+
+// SetRefetchCost records the estimated joules to re-load k on a miss.
+func (p *energyAware) SetRefetchCost(k PageKey, joules float64) {
+	p.refetch[k] = joules
+}
+
+func (p *energyAware) Victim(pinned func(PageKey) bool) (PageKey, bool) {
+	var best PageKey
+	bestCost := 0.0
+	found := false
+	// Walk from least to most recent; strict improvement keeps the
+	// least-recent page among equal costs.
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		k := e.Value.(PageKey)
+		if pinned(k) {
+			continue
+		}
+		c := p.refetch[k]
+		if !found || c < bestCost {
+			best, bestCost, found = k, c, true
+		}
+	}
+	return best, found
+}
+
+// RefetchCoster is implemented by policies that use per-page re-fetch
+// energy estimates; the pool forwards costs to it when present.
+type RefetchCoster interface {
+	SetRefetchCost(k PageKey, joules float64)
+}

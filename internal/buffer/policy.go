@@ -1,0 +1,210 @@
+// Package buffer implements the buffer pool and its replacement policies.
+//
+// The paper (§4.3, §5.2) argues the buffer manager must be redesigned for
+// energy: classic policies minimise miss *latency*, but with energy as the
+// objective a page's value is the energy a re-fetch would cost (which
+// differs by an order of magnitude between disk and flash) weighed against
+// the DRAM power spent holding it. Policies here include the classical
+// trio (LRU, CLOCK, 2Q) and an energy-aware policy that ranks victims by
+// estimated re-fetch energy.
+package buffer
+
+import "container/list"
+
+// PageKey identifies a cached page: a file (stored object) and a page
+// number within it.
+type PageKey struct {
+	File int32
+	Page int64
+}
+
+// Policy is a replacement strategy. The pool calls Inserted/Touched/
+// Removed to maintain policy state and Victim to choose an eviction
+// candidate; Victim must not return pinned pages (the pool passes a
+// pinned-test callback).
+type Policy interface {
+	Name() string
+	Inserted(k PageKey)
+	Touched(k PageKey)
+	Removed(k PageKey)
+	Victim(pinned func(PageKey) bool) (PageKey, bool)
+}
+
+// lru is least-recently-used via an intrusive list.
+type lru struct {
+	order *list.List // front = most recent
+	elems map[PageKey]*list.Element
+}
+
+// NewLRU returns the classic least-recently-used policy.
+func NewLRU() Policy {
+	return &lru{order: list.New(), elems: make(map[PageKey]*list.Element)}
+}
+
+func (p *lru) Name() string { return "lru" }
+
+func (p *lru) Inserted(k PageKey) {
+	p.elems[k] = p.order.PushFront(k)
+}
+
+func (p *lru) Touched(k PageKey) {
+	if e, ok := p.elems[k]; ok {
+		p.order.MoveToFront(e)
+	}
+}
+
+func (p *lru) Removed(k PageKey) {
+	if e, ok := p.elems[k]; ok {
+		p.order.Remove(e)
+		delete(p.elems, k)
+	}
+}
+
+func (p *lru) Victim(pinned func(PageKey) bool) (PageKey, bool) {
+	for e := p.order.Back(); e != nil; e = e.Prev() {
+		k := e.Value.(PageKey)
+		if !pinned(k) {
+			return k, true
+		}
+	}
+	return PageKey{}, false
+}
+
+// clock is the second-chance approximation of LRU.
+type clock struct {
+	ring []PageKey
+	ref  map[PageKey]bool
+	pos  map[PageKey]int
+	hand int
+}
+
+// NewClock returns the CLOCK (second chance) policy.
+func NewClock() Policy {
+	return &clock{ref: make(map[PageKey]bool), pos: make(map[PageKey]int)}
+}
+
+func (p *clock) Name() string { return "clock" }
+
+func (p *clock) Inserted(k PageKey) {
+	p.pos[k] = len(p.ring)
+	p.ring = append(p.ring, k)
+	p.ref[k] = true
+}
+
+func (p *clock) Touched(k PageKey) {
+	if _, ok := p.pos[k]; ok {
+		p.ref[k] = true
+	}
+}
+
+func (p *clock) Removed(k PageKey) {
+	i, ok := p.pos[k]
+	if !ok {
+		return
+	}
+	last := len(p.ring) - 1
+	p.ring[i] = p.ring[last]
+	p.pos[p.ring[i]] = i
+	p.ring = p.ring[:last]
+	delete(p.pos, k)
+	delete(p.ref, k)
+	if p.hand > last {
+		p.hand = 0
+	}
+}
+
+func (p *clock) Victim(pinned func(PageKey) bool) (PageKey, bool) {
+	if len(p.ring) == 0 {
+		return PageKey{}, false
+	}
+	// Two sweeps clearing reference bits, then one accepting anything
+	// unpinned regardless of the bit.
+	for sweep := 0; sweep < 3; sweep++ {
+		for range p.ring {
+			if p.hand >= len(p.ring) {
+				p.hand = 0
+			}
+			k := p.ring[p.hand]
+			p.hand++
+			if pinned(k) {
+				continue
+			}
+			if sweep < 2 && p.ref[k] {
+				p.ref[k] = false
+				continue
+			}
+			return k, true
+		}
+	}
+	return PageKey{}, false
+}
+
+// twoQ is the 2Q scan-resistant policy: new pages enter a FIFO probation
+// queue (a1); only pages re-referenced while resident are promoted to the
+// main LRU (am). One sequential scan therefore cannot flush the hot set.
+type twoQ struct {
+	a1     *list.List
+	am     *list.List
+	where  map[PageKey]*list.Element
+	inMain map[PageKey]bool
+	// a1Max caps probation at a fraction of total entries.
+}
+
+// NewTwoQ returns the 2Q scan-resistant policy.
+func NewTwoQ() Policy {
+	return &twoQ{
+		a1:     list.New(),
+		am:     list.New(),
+		where:  make(map[PageKey]*list.Element),
+		inMain: make(map[PageKey]bool),
+	}
+}
+
+func (p *twoQ) Name() string { return "2q" }
+
+func (p *twoQ) Inserted(k PageKey) {
+	p.where[k] = p.a1.PushFront(k)
+	p.inMain[k] = false
+}
+
+func (p *twoQ) Touched(k PageKey) {
+	e, ok := p.where[k]
+	if !ok {
+		return
+	}
+	if p.inMain[k] {
+		p.am.MoveToFront(e)
+		return
+	}
+	// Promote from probation to main on re-reference.
+	p.a1.Remove(e)
+	p.where[k] = p.am.PushFront(k)
+	p.inMain[k] = true
+}
+
+func (p *twoQ) Removed(k PageKey) {
+	e, ok := p.where[k]
+	if !ok {
+		return
+	}
+	if p.inMain[k] {
+		p.am.Remove(e)
+	} else {
+		p.a1.Remove(e)
+	}
+	delete(p.where, k)
+	delete(p.inMain, k)
+}
+
+func (p *twoQ) Victim(pinned func(PageKey) bool) (PageKey, bool) {
+	// Prefer evicting probation (a1) back-to-front, then main LRU.
+	for _, q := range []*list.List{p.a1, p.am} {
+		for e := q.Back(); e != nil; e = e.Prev() {
+			k := e.Value.(PageKey)
+			if !pinned(k) {
+				return k, true
+			}
+		}
+	}
+	return PageKey{}, false
+}

@@ -1,0 +1,182 @@
+package buffer
+
+import (
+	"fmt"
+
+	"energydb/internal/hw"
+	"energydb/internal/sim"
+)
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate reports hits/(hits+misses), 0 when no accesses happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	pins int
+}
+
+// Pool is a fixed-capacity buffer pool over simulated storage. It caches
+// page *presence*: a hit skips the backing I/O charge entirely; a miss
+// runs the caller's load function (which charges device time) and may
+// evict a victim chosen by the policy.
+type Pool struct {
+	capacity int
+	policy   Policy
+	pages    map[PageKey]*frame
+	stats    Stats
+
+	// PageBytes is the page size the pool manages, used by RanksNeeded.
+	PageBytes int64
+	// DRAM, if set, has its powered ranks adjusted on Resize so unused
+	// memory stops drawing refresh power.
+	DRAM *hw.DRAM
+}
+
+// NewPool returns a pool holding up to capacity pages under the policy.
+func NewPool(capacity int, policy Policy) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: pool capacity %d", capacity))
+	}
+	return &Pool{
+		capacity: capacity,
+		policy:   policy,
+		pages:    make(map[PageKey]*frame),
+	}
+}
+
+// Capacity reports the frame count.
+func (pl *Pool) Capacity() int { return pl.capacity }
+
+// Len reports the cached page count.
+func (pl *Pool) Len() int { return len(pl.pages) }
+
+// Stats returns a copy of the counters.
+func (pl *Pool) Stats() Stats { return pl.stats }
+
+// Policy returns the replacement policy.
+func (pl *Pool) Policy() Policy { return pl.policy }
+
+// Contains reports whether k is resident.
+func (pl *Pool) Contains(k PageKey) bool {
+	_, ok := pl.pages[k]
+	return ok
+}
+
+// Get pins page k, calling load to charge the backing I/O if the page is
+// not resident. Callers must Unpin when done. If the pool is full of
+// pinned pages, the new page is loaded and passed through unpinned-on-
+// arrival (it still counts as a miss and is not cached), so Get never
+// deadlocks.
+func (pl *Pool) Get(p *sim.Proc, k PageKey, load func(p *sim.Proc)) {
+	if f, ok := pl.pages[k]; ok {
+		pl.stats.Hits++
+		f.pins++
+		pl.policy.Touched(k)
+		return
+	}
+	pl.stats.Misses++
+	if load != nil {
+		load(p)
+	}
+	if !pl.makeRoom() {
+		// Everything is pinned: serve the page without caching it by
+		// inserting a transient pinned frame the Unpin will drop.
+		pl.pages[k] = &frame{pins: 1}
+		pl.policy.Inserted(k)
+		return
+	}
+	pl.pages[k] = &frame{pins: 1}
+	pl.policy.Inserted(k)
+}
+
+// makeRoom evicts until a free frame exists; reports success.
+func (pl *Pool) makeRoom() bool {
+	for len(pl.pages) >= pl.capacity {
+		victim, ok := pl.policy.Victim(func(k PageKey) bool {
+			f, present := pl.pages[k]
+			return present && f.pins > 0
+		})
+		if !ok {
+			return false
+		}
+		delete(pl.pages, victim)
+		pl.policy.Removed(victim)
+		pl.stats.Evictions++
+	}
+	return true
+}
+
+// Unpin releases one pin on k. Unpinning a non-resident or unpinned page
+// panics: it always indicates a caller bug.
+func (pl *Pool) Unpin(k PageKey) {
+	f, ok := pl.pages[k]
+	if !ok || f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: unpin of %v with no pins", k))
+	}
+	f.pins--
+	// Transient overflow frames (beyond capacity) leave immediately.
+	if f.pins == 0 && len(pl.pages) > pl.capacity {
+		delete(pl.pages, k)
+		pl.policy.Removed(k)
+		pl.stats.Evictions++
+	}
+}
+
+// SetRefetchCost forwards a page's re-fetch energy estimate to policies
+// that use one (NewEnergyAware); it is a no-op otherwise.
+func (pl *Pool) SetRefetchCost(k PageKey, joules float64) {
+	if rc, ok := pl.policy.(RefetchCoster); ok {
+		rc.SetRefetchCost(k, joules)
+	}
+}
+
+// Resize changes the pool capacity, evicting as needed when shrinking, and
+// powers DRAM ranks up or down to match the new footprint when a DRAM
+// device is attached — the §4.2 "consolidate and power down" move.
+func (pl *Pool) Resize(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: resize to %d", capacity))
+	}
+	pl.capacity = capacity
+	for len(pl.pages) > pl.capacity {
+		victim, ok := pl.policy.Victim(func(k PageKey) bool {
+			f, present := pl.pages[k]
+			return present && f.pins > 0
+		})
+		if !ok {
+			break // everything pinned: shrink takes effect as pins drop
+		}
+		delete(pl.pages, victim)
+		pl.policy.Removed(victim)
+		pl.stats.Evictions++
+	}
+	if pl.DRAM != nil && pl.PageBytes > 0 {
+		pl.DRAM.SetPoweredRanks(pl.RanksNeeded())
+	}
+}
+
+// RanksNeeded reports how many DRAM ranks the pool's footprint requires.
+func (pl *Pool) RanksNeeded() int {
+	if pl.DRAM == nil || pl.PageBytes <= 0 {
+		return 0
+	}
+	bytes := int64(pl.capacity) * pl.PageBytes
+	perRank := pl.DRAM.Spec().BytesPerRank
+	n := int((bytes + perRank - 1) / perRank)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

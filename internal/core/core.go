@@ -1,0 +1,496 @@
+// Package core assembles the paper's system: an energy-aware database
+// engine running on simulated, power-metered hardware. It wires the
+// device models, storage volumes, buffer pool, WAL, SQL front end and the
+// dual-objective optimizer into a single DB handle whose every query
+// returns an energy report alongside its rows.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"energydb/internal/buffer"
+	"energydb/internal/compress"
+	"energydb/internal/energy"
+	"energydb/internal/exec"
+	"energydb/internal/hw"
+	"energydb/internal/opt"
+	"energydb/internal/sim"
+	"energydb/internal/sql"
+	"energydb/internal/storage"
+	"energydb/internal/table"
+	"energydb/internal/tpch"
+	"energydb/internal/wal"
+)
+
+// Config selects the simulated hardware and engine policies.
+type Config struct {
+	// Server is the machine to simulate; see hw.DL785, hw.ScanRig,
+	// hw.SmallServer.
+	Server hw.ServerSpec
+
+	// PageBytes is the volume page size (default 64 KiB).
+	PageBytes int64
+	// VolumeLayout is RAID-0 or RAID-5 across the server's data devices
+	// (default striped; the paper's Figure 1 system used RAID-5).
+	VolumeLayout storage.Layout
+	// BlockRows is the placement block size in rows (default 8192).
+	BlockRows int
+
+	// PoolPages sizes the buffer pool (default 1024 pages); PoolPolicy is
+	// "lru", "clock", "2q" or "energy" (default "lru").
+	PoolPages  int
+	PoolPolicy string
+
+	// Objective is what the optimizer minimises (default MinTime — the
+	// classical DBMS; switch to MinEnergy for the paper's proposal).
+	Objective opt.Objective
+
+	// DRAMWattPerByte overrides the energy model's memory holding power;
+	// 0 keeps the datasheet-derived value.
+	DRAMWattPerByte float64
+
+	// WALBatch enables a group-commit log on the last device with the
+	// given batching factor (0 disables the WAL).
+	WALBatch   int
+	WALTimeout float64
+
+	// Variants restricts which physical placements are built and offered
+	// to the optimizer (subset of "col/default", "col/raw", "row/raw");
+	// empty means all three. Experiments use it to pin the physical
+	// design, e.g. to mimic the lightly-compressed commercial system of
+	// the paper's Figure 1.
+	Variants []string
+
+	// HostIOBandwidth caps the aggregate device-to-host transfer rate
+	// (bytes/s), modelling the shared SAS/PCIe path; 0 disables the cap.
+	HostIOBandwidth float64
+
+	// IORunPages caps pages per coalesced device request (0 = adaptive).
+	IORunPages int
+}
+
+// DB is an open energy-aware database over one simulated server.
+type DB struct {
+	Srv  *hw.Server
+	Vol  *storage.Volume
+	Pool *buffer.Pool
+	Log  *wal.Log
+
+	Catalog   *opt.Catalog
+	Env       *opt.Env
+	Objective opt.Objective
+
+	cfg     Config
+	schemas map[string]*table.Schema
+	mem     map[string]*table.Table // in-memory (unplaced or dirty) tables
+	dirty   map[string]bool
+	fileSeq int32
+	queries int64
+}
+
+// Open builds the simulated machine and an empty database on it.
+func Open(cfg Config) (*DB, error) {
+	if cfg.PageBytes == 0 {
+		cfg.PageBytes = 64 << 10
+	}
+	if cfg.BlockRows == 0 {
+		cfg.BlockRows = 8192
+	}
+	if cfg.PoolPages == 0 {
+		cfg.PoolPages = 1024
+	}
+	srv := hw.NewServer(cfg.Server)
+
+	var devs []storage.BlockDevice
+	var logDev storage.BlockDevice
+	switch {
+	case len(srv.SSDs) > 0:
+		for _, s := range srv.SSDs {
+			devs = append(devs, s)
+		}
+	case len(srv.Disks) > 0:
+		for _, d := range srv.Disks {
+			devs = append(devs, d)
+		}
+	default:
+		return nil, fmt.Errorf("core: server %q has no storage devices", cfg.Server.Name)
+	}
+	if cfg.WALBatch > 0 {
+		logDev = devs[len(devs)-1]
+		if len(devs) > 1 {
+			devs = devs[:len(devs)-1] // dedicate the last device to the log
+		}
+	}
+	vol := storage.NewVolume("data", cfg.VolumeLayout, cfg.PageBytes, devs)
+	if cfg.HostIOBandwidth > 0 {
+		vol.SetHostLink(srv.Eng, cfg.HostIOBandwidth)
+	}
+	vol.MaxRunPages = cfg.IORunPages
+
+	var policy buffer.Policy
+	switch cfg.PoolPolicy {
+	case "", "lru":
+		policy = buffer.NewLRU()
+	case "clock":
+		policy = buffer.NewClock()
+	case "2q":
+		policy = buffer.NewTwoQ()
+	case "energy":
+		policy = buffer.NewEnergyAware()
+	default:
+		return nil, fmt.Errorf("core: unknown pool policy %q", cfg.PoolPolicy)
+	}
+	pool := buffer.NewPool(cfg.PoolPages, policy)
+	pool.PageBytes = cfg.PageBytes
+	pool.DRAM = srv.DRAM
+
+	db := &DB{
+		Srv: srv, Vol: vol, Pool: pool,
+		Catalog:   opt.NewCatalog(),
+		Objective: cfg.Objective,
+		cfg:       cfg,
+		schemas:   map[string]*table.Schema{},
+		mem:       map[string]*table.Table{},
+		dirty:     map[string]bool{},
+	}
+	if cfg.WALBatch > 0 {
+		if cfg.WALTimeout == 0 && cfg.WALBatch > 1 {
+			cfg.WALTimeout = 0.005 // bound commit latency when batches trickle
+		}
+		db.Log = wal.NewLog(srv.Eng, logDev, cfg.WALBatch, cfg.WALTimeout)
+	}
+	db.Env = db.buildEnv()
+	return db, nil
+}
+
+// buildEnv derives the optimizer's cost-model environment from the
+// simulated hardware — the "simple models" of §4.1.
+func (db *DB) buildEnv() *opt.Env {
+	spec := db.cfg.Server
+	env := &opt.Env{
+		CPUFreqHz:      spec.CPU.FreqHz,
+		Cores:          spec.CPU.Cores,
+		PageBytes:      db.cfg.PageBytes,
+		CPUWattPerCore: float64(spec.CPU.ActivePerCore),
+		Costs:          exec.DefaultCosts(),
+	}
+	if len(db.Srv.SSDs) > 0 {
+		s := spec.SSD
+		env.ScanBW = s.ReadBW * float64(db.Vol.Devices())
+		env.PageLatency = s.ReadLatency
+		env.StorageWatt = float64(s.ActiveWatts-s.IdleWatts) * float64(db.Vol.Devices())
+		if env.StorageWatt <= 0 {
+			env.StorageWatt = float64(s.ActiveWatts) * float64(db.Vol.Devices())
+		}
+	} else {
+		d := spec.Disk
+		env.ScanBW = d.SeqReadBW * float64(db.Vol.Devices()) * 0.85 // stripe efficiency
+		env.PageLatency = (d.AvgSeek + d.RotLatency) / 16           // amortised across a run
+		env.StorageWatt = float64(d.ActiveWatts-d.IdleWatts) * float64(db.Vol.Devices())
+	}
+	if db.Srv.DRAM != nil {
+		env.DRAMWattPerByte = db.Srv.DRAM.HoldingPower()
+	} else {
+		env.DRAMWattPerByte = 1.3e-9
+	}
+	if db.cfg.DRAMWattPerByte > 0 {
+		env.DRAMWattPerByte = db.cfg.DRAMWattPerByte
+	}
+	return env
+}
+
+// CreateTable registers an empty in-memory table.
+func (db *DB) CreateTable(s *table.Schema) error {
+	if _, dup := db.schemas[s.Name]; dup {
+		return fmt.Errorf("core: table %q already exists", s.Name)
+	}
+	db.schemas[s.Name] = s
+	db.mem[s.Name] = table.NewTable(s)
+	db.dirty[s.Name] = true
+	return nil
+}
+
+// LoadTable registers a populated in-memory table (e.g. from the TPC-H
+// generator) for placement on first use.
+func (db *DB) LoadTable(t *table.Table) error {
+	if _, dup := db.schemas[t.Schema.Name]; dup {
+		return fmt.Errorf("core: table %q already exists", t.Schema.Name)
+	}
+	db.schemas[t.Schema.Name] = t.Schema
+	db.mem[t.Schema.Name] = t
+	db.dirty[t.Schema.Name] = true
+	return nil
+}
+
+// Insert appends rows to a table; they become visible to queries after
+// the next (re)placement, and are logged when a WAL is configured.
+func (db *DB) Insert(name string, rows [][]table.Value) error {
+	t, ok := db.mem[name]
+	if !ok {
+		return fmt.Errorf("core: unknown table %q", name)
+	}
+	s := db.schemas[name]
+	for _, r := range rows {
+		if len(r) != len(s.Cols) {
+			return fmt.Errorf("core: insert of %d values into %d columns", len(r), len(s.Cols))
+		}
+		coerced := make([]table.Value, len(r))
+		for i, v := range r {
+			if v.Type.Physical() != s.Cols[i].Type.Physical() {
+				return fmt.Errorf("core: column %q wants %v, got %v", s.Cols[i].Name, s.Cols[i].Type, v.Type)
+			}
+			v.Type = s.Cols[i].Type
+			coerced[i] = v
+		}
+		t.AppendRow(coerced...)
+	}
+	db.dirty[name] = true
+	if db.Log != nil {
+		bytes := int64(len(rows) * s.RowWidth())
+		if bytes < 64 {
+			bytes = 64
+		}
+		return db.run("wal", func(p *sim.Proc) error {
+			db.Log.Commit(p, bytes)
+			return nil
+		})
+	}
+	return nil
+}
+
+// place (re)places a table's variants on the data volume.
+func (db *DB) place(name string) error {
+	t := db.mem[name]
+	if t == nil {
+		return fmt.Errorf("core: unknown table %q", name)
+	}
+	db.fileSeq += 3
+	variants := make([]opt.Variant, 0, 3)
+	want := func(name string) bool {
+		if len(db.cfg.Variants) == 0 {
+			return true
+		}
+		for _, v := range db.cfg.Variants {
+			if v == name {
+				return true
+			}
+		}
+		return false
+	}
+	if t.Rows() > 0 {
+		if want("col/default") {
+			colDef, err := exec.PlaceColumnMajor(t, db.Vol, db.fileSeq, db.cfg.BlockRows, tpch.DefaultCodecs(t.Schema))
+			if err != nil {
+				return err
+			}
+			variants = append(variants, opt.Variant{Name: "col/default", ST: colDef})
+		}
+		if want("col/raw") {
+			colRaw, err := exec.PlaceColumnMajor(t, db.Vol, db.fileSeq+1, db.cfg.BlockRows, tpch.RawCodecs(t.Schema))
+			if err != nil {
+				return err
+			}
+			variants = append(variants, opt.Variant{Name: "col/raw", ST: colRaw})
+		}
+		if want("row/raw") {
+			rowRaw, err := exec.PlaceRowMajor(t, db.Vol, db.fileSeq+2, db.cfg.BlockRows, compress.Raw)
+			if err != nil {
+				return err
+			}
+			variants = append(variants, opt.Variant{Name: "row/raw", ST: rowRaw})
+		}
+		if len(variants) == 0 {
+			return fmt.Errorf("core: config.Variants selects no placements")
+		}
+	} else {
+		// Empty tables still need a (degenerate) placement for scans.
+		empty, err := exec.PlaceColumnMajor(t, db.Vol, db.fileSeq, db.cfg.BlockRows, tpch.RawCodecs(t.Schema))
+		if err != nil {
+			return err
+		}
+		variants = append(variants, opt.Variant{Name: "col/raw", ST: empty})
+	}
+	db.Catalog.Add(name, &opt.Placement{Variants: variants, Stats: opt.Analyze(t)})
+	db.dirty[name] = false
+	return nil
+}
+
+// Result is a completed query with its energy account.
+type Result struct {
+	Rows    *table.Table
+	Plan    *opt.Plan
+	Elapsed energy.Seconds
+	Joules  energy.Joules // whole-server energy during the query
+	Report  string        // per-component breakdown
+}
+
+// Efficiency reports rows per joule — the paper's work/energy metric.
+func (r *Result) Efficiency() energy.Efficiency {
+	if r.Rows == nil {
+		return 0
+	}
+	return energy.EfficiencyOf(float64(r.Rows.Rows()), r.Joules)
+}
+
+// Exec parses, plans and executes one SQL statement on the simulated
+// machine, advancing its clock and meter.
+func (db *DB) Exec(query string) (*Result, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case st.Create != nil:
+		return &Result{}, db.CreateTable(table.NewSchema(st.Create.Name, st.Create.Cols...))
+	case st.Insert != nil:
+		return &Result{}, db.Insert(st.Insert.Table, st.Insert.Rows)
+	default:
+		return db.execSelect(st)
+	}
+}
+
+// Plan compiles a SELECT without executing it (EXPLAIN).
+func (db *DB) Plan(query string) (*opt.Plan, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Select == nil {
+		return nil, fmt.Errorf("core: only SELECT can be explained")
+	}
+	q, err := db.bind(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(q, db.Catalog, db.Env, db.Objective)
+}
+
+func (db *DB) bind(sel *sql.SelectStmt) (*opt.Query, error) {
+	q, err := sql.Bind(sel, func(rel string) (*table.Schema, bool) {
+		s, ok := db.schemas[rel]
+		return s, ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Place (or re-place) every referenced table that changed.
+	for _, a := range q.Tables {
+		rel := q.Rels[a]
+		if db.dirty[rel] {
+			if err := db.place(rel); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+func (db *DB) execSelect(st *sql.Stmt) (*Result, error) {
+	q, err := db.bind(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opt.Optimize(q, db.Catalog, db.Env, db.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if st.Explain {
+		return &Result{Plan: plan}, nil
+	}
+
+	meter := db.Srv.Meter
+	startT := energy.Seconds(db.Srv.Eng.Now())
+	startE := meter.TotalEnergy(startT)
+
+	var rows *table.Table
+	err = db.run("query", func(p *sim.Proc) error {
+		ctx := db.NewCtx(p)
+		op, err := plan.Build(ctx)
+		if err != nil {
+			return err
+		}
+		rows, err = exec.Collect(ctx, op)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	endT := energy.Seconds(db.Srv.Eng.Now())
+	db.queries++
+	return &Result{
+		Rows:    rows,
+		Plan:    plan,
+		Elapsed: endT - startT,
+		Joules:  meter.TotalEnergy(endT) - startE,
+		Report:  meter.Report(endT),
+	}, nil
+}
+
+// NewCtx builds an execution context wired to this DB's hardware; the
+// benchmark drivers use it to run plans inside their own processes.
+func (db *DB) NewCtx(p *sim.Proc) *exec.Ctx {
+	ctx := exec.NewCtx(p, db.Srv.CPU)
+	ctx.DRAM = db.Srv.DRAM
+	ctx.Pool = db.Pool
+	ctx.Temp = db.Vol
+	if db.Env.StorageWatt > 0 && db.Env.ScanBW > 0 {
+		perPage := float64(db.cfg.PageBytes) / db.Env.ScanBW
+		ctx.PageRefetchJoules = perPage * db.Env.StorageWatt
+	}
+	return ctx
+}
+
+// run executes fn as a simulated process and drains the engine.
+func (db *DB) run(name string, fn func(p *sim.Proc) error) error {
+	var err error
+	db.Srv.Eng.Go(name, func(p *sim.Proc) {
+		err = fn(p)
+	})
+	if rerr := db.Srv.Eng.Run(); rerr != nil {
+		return rerr
+	}
+	return err
+}
+
+// Go starts a process on the database's engine (for multi-stream
+// drivers); callers must drain with Run.
+func (db *DB) Go(name string, fn func(p *sim.Proc)) { db.Srv.Eng.Go(name, fn) }
+
+// Run drains the engine until all processes finish.
+func (db *DB) Run() error { return db.Srv.Eng.Run() }
+
+// CompileSelect binds and optimizes a SELECT for repeated execution by
+// multi-stream drivers.
+func (db *DB) CompileSelect(query string) (*opt.Plan, error) {
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Select == nil {
+		return nil, fmt.Errorf("core: not a SELECT: %s", strings.SplitN(query, "\n", 2)[0])
+	}
+	q, err := db.bind(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(q, db.Catalog, db.Env, db.Objective)
+}
+
+// Queries reports how many SELECTs have completed via Exec.
+func (db *DB) Queries() int64 { return db.queries }
+
+// Schema returns a registered table's schema.
+func (db *DB) Schema(name string) (*table.Schema, bool) {
+	s, ok := db.schemas[name]
+	return s, ok
+}
+
+// Tables lists registered table names (unordered).
+func (db *DB) Tables() []string {
+	out := make([]string, 0, len(db.schemas))
+	for n := range db.schemas {
+		out = append(out, n)
+	}
+	return out
+}

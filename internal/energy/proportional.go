@@ -1,0 +1,85 @@
+package energy
+
+// This file implements the energy-proportionality metrics the paper builds
+// on (Section 2.3, citing Barroso & Hölzle, "The Case for Energy-
+// Proportional Computing"). An ideal energy-proportional server draws zero
+// power at zero utilisation and power linear in delivered performance, so
+// its energy efficiency is constant across load. Real servers draw a large
+// fraction of peak power while idle.
+
+// UtilPoint is one sample of a power-versus-utilisation curve.
+type UtilPoint struct {
+	Utilization float64 // 0..1 fraction of peak performance
+	Power       Watts
+}
+
+// DynamicRange is the ratio of the power that scales with load to peak
+// power: (peak - idle) / peak. 1.0 is perfectly proportional hardware,
+// 0.0 is hardware whose power is completely insensitive to load (the
+// "limited dynamic power range" the paper complains about in §2.4).
+func DynamicRange(idle, peak Watts) float64 {
+	if peak <= 0 {
+		return 0
+	}
+	r := float64(peak-idle) / float64(peak)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// ProportionalityIndex summarises how close a measured power curve is to
+// the ideal proportional line P(u) = u * P(1). It is 1 - the mean relative
+// excess over the ideal line across the samples, clamped to [0, 1].
+// An ideal curve scores 1; a flat curve at peak power scores near 0.
+func ProportionalityIndex(points []UtilPoint) float64 {
+	var peak Watts
+	for _, p := range points {
+		if p.Utilization >= 0.999 && p.Power > peak {
+			peak = p.Power
+		}
+	}
+	if peak == 0 {
+		// No full-load sample; normalise by the maximum power seen.
+		for _, p := range points {
+			if p.Power > peak {
+				peak = p.Power
+			}
+		}
+	}
+	if peak == 0 || len(points) == 0 {
+		return 0
+	}
+	var excess float64
+	var n int
+	for _, p := range points {
+		ideal := p.Utilization * float64(peak)
+		excess += (float64(p.Power) - ideal) / float64(peak)
+		n++
+	}
+	idx := 1 - excess/float64(n)
+	if idx < 0 {
+		return 0
+	}
+	if idx > 1 {
+		return 1
+	}
+	return idx
+}
+
+// EfficiencyCurve converts a power-vs-utilisation curve into energy
+// efficiency at each point, taking performance at utilisation u to be
+// u * peakPerf. This is the curve the paper says should be constant for
+// energy-proportional systems ("constant energy efficiency ... at all
+// performance levels").
+func EfficiencyCurve(points []UtilPoint, peakPerf float64) []Efficiency {
+	out := make([]Efficiency, len(points))
+	for i, p := range points {
+		if p.Power == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = Efficiency(p.Utilization * peakPerf / float64(p.Power))
+	}
+	return out
+}

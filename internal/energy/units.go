@@ -1,0 +1,83 @@
+// Package energy defines the units, accounting primitives, and metrics used
+// throughout energydb to reason about power and energy.
+//
+// The paper's central identity (Section 2.1) is
+//
+//	Energy = AvgPower × Time        (1 J = 1 W × 1 s)
+//	EE     = WorkDone / Energy = Perf / Power
+//
+// Everything in this package is pure computation over simulated time; there
+// is no OS or hardware interaction.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Joules is an amount of energy.
+type Joules float64
+
+// Watts is an instantaneous rate of energy use (power).
+type Watts float64
+
+// Seconds is a duration of simulated time. The simulator uses float64
+// seconds throughout; all arithmetic on it is deterministic.
+type Seconds float64
+
+// Energy returns the energy consumed by drawing power w for duration d.
+func Energy(w Watts, d Seconds) Joules {
+	return Joules(float64(w) * float64(d))
+}
+
+// AvgPower returns the average power implied by consuming e over d.
+// It returns 0 when d is 0 to keep callers free of special cases.
+func AvgPower(e Joules, d Seconds) Watts {
+	if d == 0 {
+		return 0
+	}
+	return Watts(float64(e) / float64(d))
+}
+
+// Efficiency is work done per Joule, the paper's energy-efficiency metric
+// (e.g. transactions/J for OLTP, queries/J for a throughput test).
+type Efficiency float64
+
+// EfficiencyOf computes work/energy, returning 0 for zero energy.
+func EfficiencyOf(work float64, e Joules) Efficiency {
+	if e == 0 {
+		return 0
+	}
+	return Efficiency(work / float64(e))
+}
+
+// EDP is the energy-delay product, a metric that penalises both energy and
+// time; lower is better. It is the standard compromise objective when
+// neither pure performance nor pure energy is acceptable.
+func EDP(e Joules, d Seconds) float64 {
+	return float64(e) * float64(d)
+}
+
+func (j Joules) String() string  { return formatUnit(float64(j), "J") }
+func (w Watts) String() string   { return formatUnit(float64(w), "W") }
+func (s Seconds) String() string { return formatUnit(float64(s), "s") }
+
+func formatUnit(v float64, unit string) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.3gG%s", v/1e9, unit)
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM%s", v/1e6, unit)
+	case av >= 1e3:
+		return fmt.Sprintf("%.3gk%s", v/1e3, unit)
+	case av >= 1 || av == 0:
+		return fmt.Sprintf("%.3g%s", v, unit)
+	case av >= 1e-3:
+		return fmt.Sprintf("%.3gm%s", v*1e3, unit)
+	case av >= 1e-6:
+		return fmt.Sprintf("%.3gµ%s", v*1e6, unit)
+	default:
+		return fmt.Sprintf("%.3gn%s", v*1e9, unit)
+	}
+}

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"sort"
+
+	"energydb/internal/table"
+)
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"count", "sum", "min", "max", "avg"}[f]
+}
+
+// AggSpec is one aggregate column: Func applied to the child's column Col
+// (ignored for Count), labelled As in the output.
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	As   string
+}
+
+// HashAgg groups rows by the GroupBy columns and computes aggregates. The
+// output schema is the group columns followed by one column per spec.
+// Output order is deterministic (sorted by group key) so results are
+// reproducible.
+type HashAgg struct {
+	In      Operator
+	GroupBy []int
+	Aggs    []AggSpec
+
+	schema *table.Schema
+	groups map[string]*aggState
+	keys   map[string][]table.Value
+	order  []string
+	next   int
+}
+
+type aggState struct {
+	count int64
+	sumI  []int64
+	sumF  []float64
+	minV  []table.Value
+	maxV  []table.Value
+	seen  []bool
+}
+
+// NewHashAgg builds a grouping aggregation.
+func NewHashAgg(in Operator, groupBy []int, aggs []AggSpec) *HashAgg {
+	ins := in.Schema()
+	var cols []table.Column
+	for _, g := range groupBy {
+		cols = append(cols, ins.Cols[g])
+	}
+	for _, a := range aggs {
+		t := table.Int64
+		switch a.Func {
+		case Count:
+			t = table.Int64
+		case Avg:
+			t = table.Float64
+		default:
+			t = ins.Cols[a.Col].Type
+			if a.Func == Sum && t.Physical() == table.PhysFloat {
+				t = table.Float64
+			}
+		}
+		name := a.As
+		if name == "" {
+			name = a.Func.String()
+		}
+		cols = append(cols, table.Col(name, t))
+	}
+	return &HashAgg{In: in, GroupBy: groupBy, Aggs: aggs,
+		schema: table.NewSchema(ins.Name, cols...)}
+}
+
+// Schema implements Operator.
+func (h *HashAgg) Schema() *table.Schema { return h.schema }
+
+// Open implements Operator: it drains the child and builds all groups.
+func (h *HashAgg) Open(ctx *Ctx) error {
+	if err := h.In.Open(ctx); err != nil {
+		return err
+	}
+	h.groups = make(map[string]*aggState)
+	h.keys = make(map[string][]table.Value)
+	h.order = nil
+	h.next = 0
+	for {
+		b, err := h.In.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		ctx.ChargeRows(b.Rows()*max(1, len(h.Aggs)), ctx.Costs.AggCyclesPerRow)
+		for r := 0; r < b.Rows(); r++ {
+			key := h.groupKey(b, r)
+			st, ok := h.groups[key]
+			if !ok {
+				st = &aggState{
+					sumI: make([]int64, len(h.Aggs)),
+					sumF: make([]float64, len(h.Aggs)),
+					minV: make([]table.Value, len(h.Aggs)),
+					maxV: make([]table.Value, len(h.Aggs)),
+					seen: make([]bool, len(h.Aggs)),
+				}
+				h.groups[key] = st
+				kv := make([]table.Value, len(h.GroupBy))
+				for i, g := range h.GroupBy {
+					kv[i] = b.Vecs[g].Value(r)
+				}
+				h.keys[key] = kv
+				h.order = append(h.order, key)
+			}
+			st.count++
+			for ai, a := range h.Aggs {
+				if a.Func == Count {
+					continue
+				}
+				v := b.Vecs[a.Col].Value(r)
+				if v.Type.Physical() == table.PhysFloat {
+					st.sumF[ai] += v.F
+				} else if v.Type.Physical() == table.PhysInt {
+					st.sumI[ai] += v.I
+					st.sumF[ai] += float64(v.I)
+				}
+				if !st.seen[ai] || v.Compare(st.minV[ai]) < 0 {
+					st.minV[ai] = v
+				}
+				if !st.seen[ai] || v.Compare(st.maxV[ai]) > 0 {
+					st.maxV[ai] = v
+				}
+				st.seen[ai] = true
+			}
+		}
+	}
+	sort.Strings(h.order)
+	return h.In.Close(ctx)
+}
+
+func (h *HashAgg) groupKey(b *table.Batch, r int) string {
+	key := ""
+	for _, g := range h.GroupBy {
+		key += b.Vecs[g].Value(r).String() + "\x00"
+	}
+	return key
+}
+
+// Next implements Operator.
+func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
+	if h.next >= len(h.order) {
+		// No input rows and no grouping: emit the global aggregate row.
+		if h.next == 0 && len(h.GroupBy) == 0 && len(h.order) == 0 {
+			h.next = 1
+			b := table.NewBatch(h.schema, 1)
+			empty := &aggState{
+				sumI: make([]int64, len(h.Aggs)),
+				sumF: make([]float64, len(h.Aggs)),
+				minV: make([]table.Value, len(h.Aggs)),
+				maxV: make([]table.Value, len(h.Aggs)),
+				seen: make([]bool, len(h.Aggs)),
+			}
+			b.AppendRow(h.resultRow(nil, empty)...)
+			return b, nil
+		}
+		return nil, nil
+	}
+	hi := h.next + ctx.VectorSize
+	if hi > len(h.order) {
+		hi = len(h.order)
+	}
+	b := table.NewBatch(h.schema, hi-h.next)
+	for _, key := range h.order[h.next:hi] {
+		b.AppendRow(h.resultRow(h.keys[key], h.groups[key])...)
+	}
+	h.next = hi
+	return b, nil
+}
+
+func (h *HashAgg) resultRow(groupVals []table.Value, st *aggState) []table.Value {
+	row := append([]table.Value(nil), groupVals...)
+	for ai, a := range h.Aggs {
+		colType := h.schema.Cols[len(h.GroupBy)+ai].Type
+		switch a.Func {
+		case Count:
+			row = append(row, table.IntVal(st.count))
+		case Sum:
+			if colType.Physical() == table.PhysFloat {
+				row = append(row, table.FloatVal(st.sumF[ai]))
+			} else {
+				row = append(row, table.Value{Type: colType, I: st.sumI[ai]})
+			}
+		case Avg:
+			if st.count == 0 {
+				row = append(row, table.FloatVal(0))
+			} else {
+				row = append(row, table.FloatVal(st.sumF[ai]/float64(st.count)))
+			}
+		case Min:
+			row = append(row, zeroIfUnseen(st.minV[ai], st.seen[ai], colType))
+		case Max:
+			row = append(row, zeroIfUnseen(st.maxV[ai], st.seen[ai], colType))
+		}
+	}
+	return row
+}
+
+func zeroIfUnseen(v table.Value, seen bool, t table.Type) table.Value {
+	if !seen {
+		return table.Value{Type: t}
+	}
+	return v
+}
+
+// Close implements Operator.
+func (h *HashAgg) Close(ctx *Ctx) error {
+	h.groups = nil
+	h.keys = nil
+	return nil
+}
+
+// GroupCount reports the number of groups after Open.
+func (h *HashAgg) GroupCount() int { return len(h.order) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,371 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/table"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(o))
+	}
+}
+
+func cmpMatches(op CmpOp, c int) bool {
+	switch op {
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Gt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+// Pred is a vectorised predicate: Eval ANDs its result into sel (callers
+// pass an all-true slice of b.Rows() length). Leaves charge CPU for every
+// row they inspect.
+type Pred interface {
+	Eval(ctx *Ctx, b *table.Batch, sel []bool)
+	String() string
+}
+
+// ColConst compares a column against a constant.
+type ColConst struct {
+	Col int
+	Op  CmpOp
+	Val table.Value
+}
+
+// Eval implements Pred.
+func (p *ColConst) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+	ctx.ChargeRows(b.Rows(), ctx.Costs.FilterCyclesPerRow)
+	v := b.Vecs[p.Col]
+	switch v.Type.Physical() {
+	case table.PhysInt:
+		c := p.Val.I
+		for i, x := range v.I {
+			if sel[i] && !cmpMatches(p.Op, cmp64(x, c)) {
+				sel[i] = false
+			}
+		}
+	case table.PhysFloat:
+		c := p.Val.F
+		for i, x := range v.F {
+			if sel[i] && !cmpMatches(p.Op, cmpF(x, c)) {
+				sel[i] = false
+			}
+		}
+	default:
+		c := p.Val.S
+		for i, x := range v.S {
+			if sel[i] && !cmpMatches(p.Op, cmpS(x, c)) {
+				sel[i] = false
+			}
+		}
+	}
+}
+
+func (p *ColConst) String() string {
+	return fmt.Sprintf("col%d %v %v", p.Col, p.Op, p.Val)
+}
+
+// ColCol compares two columns of the same physical class.
+type ColCol struct {
+	Left, Right int
+	Op          CmpOp
+}
+
+// Eval implements Pred.
+func (p *ColCol) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+	ctx.ChargeRows(b.Rows(), ctx.Costs.FilterCyclesPerRow)
+	l, r := b.Vecs[p.Left], b.Vecs[p.Right]
+	for i := range sel {
+		if sel[i] && !cmpMatches(p.Op, l.Value(i).Compare(r.Value(i))) {
+			sel[i] = false
+		}
+	}
+}
+
+func (p *ColCol) String() string {
+	return fmt.Sprintf("col%d %v col%d", p.Left, p.Op, p.Right)
+}
+
+// And conjoins predicates (evaluated in order; later terms see earlier
+// selections, so put cheap selective terms first).
+type And struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (p *And) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+	for _, q := range p.Preds {
+		q.Eval(ctx, b, sel)
+	}
+}
+
+func (p *And) String() string {
+	s := "("
+	for i, q := range p.Preds {
+		if i > 0 {
+			s += " AND "
+		}
+		s += q.String()
+	}
+	return s + ")"
+}
+
+// Or disjoins predicates.
+type Or struct{ Preds []Pred }
+
+// Eval implements Pred.
+func (p *Or) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+	n := b.Rows()
+	acc := make([]bool, n)
+	tmp := make([]bool, n)
+	for _, q := range p.Preds {
+		for i := range tmp {
+			tmp[i] = sel[i]
+		}
+		q.Eval(ctx, b, tmp)
+		for i := range acc {
+			acc[i] = acc[i] || tmp[i]
+		}
+	}
+	for i := range sel {
+		sel[i] = sel[i] && acc[i]
+	}
+}
+
+func (p *Or) String() string {
+	s := "("
+	for i, q := range p.Preds {
+		if i > 0 {
+			s += " OR "
+		}
+		s += q.String()
+	}
+	return s + ")"
+}
+
+// Not negates a predicate.
+type Not struct{ Pred Pred }
+
+// Eval implements Pred.
+func (p *Not) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+	n := b.Rows()
+	tmp := make([]bool, n)
+	for i := range tmp {
+		tmp[i] = sel[i]
+	}
+	p.Pred.Eval(ctx, b, tmp)
+	for i := range sel {
+		sel[i] = sel[i] && !tmp[i]
+	}
+}
+
+func (p *Not) String() string { return "NOT " + p.Pred.String() }
+
+func cmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpS(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Scalar is a per-row expression producing a vector; projections and
+// aggregate inputs use it.
+type Scalar interface {
+	Type(s *table.Schema) table.Type
+	EvalInto(ctx *Ctx, b *table.Batch) *table.Vector
+	String() string
+}
+
+// ColRef reads a column through unchanged.
+type ColRef struct{ Col int }
+
+// Type implements Scalar.
+func (e *ColRef) Type(s *table.Schema) table.Type { return s.Cols[e.Col].Type }
+
+// EvalInto implements Scalar.
+func (e *ColRef) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector { return b.Vecs[e.Col] }
+
+func (e *ColRef) String() string { return fmt.Sprintf("col%d", e.Col) }
+
+// Const produces a constant vector.
+type Const struct{ Val table.Value }
+
+// Type implements Scalar.
+func (e *Const) Type(*table.Schema) table.Type { return e.Val.Type }
+
+// EvalInto implements Scalar.
+func (e *Const) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
+	v := table.NewVector(e.Val.Type, b.Rows())
+	for i := 0; i < b.Rows(); i++ {
+		v.Append(e.Val)
+	}
+	return v
+}
+
+func (e *Const) String() string { return e.Val.String() }
+
+// ArithOp is an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (o ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/"}[o]
+}
+
+// Arith combines two numeric scalars. Integer-class operands promote to
+// float64 when mixed with floats; Div always produces float64.
+type Arith struct {
+	Op   ArithOp
+	L, R Scalar
+}
+
+// Type implements Scalar.
+func (e *Arith) Type(s *table.Schema) table.Type {
+	if e.Op == Div {
+		return table.Float64
+	}
+	lt, rt := e.L.Type(s), e.R.Type(s)
+	if lt.Physical() == table.PhysFloat || rt.Physical() == table.PhysFloat {
+		return table.Float64
+	}
+	return lt
+}
+
+// EvalInto implements Scalar.
+func (e *Arith) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
+	ctx.ChargeRows(b.Rows(), ctx.Costs.ProjectCyclesPerRow)
+	l := e.L.EvalInto(ctx, b)
+	r := e.R.EvalInto(ctx, b)
+	out := table.NewVector(e.Type(b.Schema), b.Rows())
+	n := b.Rows()
+	if out.Type.Physical() == table.PhysFloat {
+		for i := 0; i < n; i++ {
+			out.F = append(out.F, arithF(e.Op, numAsF(l, i), numAsF(r, i)))
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out.I = append(out.I, arithI(e.Op, l.I[i], r.I[i]))
+	}
+	return out
+}
+
+func (e *Arith) String() string {
+	return fmt.Sprintf("(%s %v %s)", e.L, e.Op, e.R)
+}
+
+func numAsF(v *table.Vector, i int) float64 {
+	if v.Type.Physical() == table.PhysFloat {
+		return v.F[i]
+	}
+	return float64(v.I[i])
+}
+
+func arithF(op ArithOp, a, b float64) float64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	default:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+}
+
+func arithI(op ArithOp, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	default:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+}
+
+// TruePred matches every row (no per-row charge: it does no work).
+type TruePred struct{}
+
+// Eval implements Pred.
+func (TruePred) Eval(*Ctx, *table.Batch, []bool) {}
+
+func (TruePred) String() string { return "true" }

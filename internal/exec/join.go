@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/table"
+)
+
+// joinSchema concatenates build and probe schemas, prefixing duplicate
+// column names with the side's relation name.
+func joinSchema(name string, l, r *table.Schema) *table.Schema {
+	seen := map[string]bool{}
+	var cols []table.Column
+	add := func(rel string, c table.Column) {
+		n := c.Name
+		if seen[n] {
+			n = rel + "." + n
+		}
+		seen[n] = true
+		cols = append(cols, table.Column{Name: n, Type: c.Type, Width: c.Width})
+	}
+	for _, c := range l.Cols {
+		add(l.Name, c)
+	}
+	for _, c := range r.Cols {
+		add(r.Name, c)
+	}
+	return table.NewSchema(name, cols...)
+}
+
+// HashJoin is an equi-join that materialises the build side into an
+// in-memory hash table and streams the probe side. It is fast but holds
+// the whole build relation in memory — the power-hungry choice §4.1 calls
+// out: hash join "relies on using a large chunk of memory ... From a power
+// perspective, these are expensive operations and may tip the balance in
+// favor of nested-loop join".
+type HashJoin struct {
+	Build    Operator
+	Probe    Operator
+	BuildKey int // column index in Build's schema
+	ProbeKey int // column index in Probe's schema
+
+	schema     *table.Schema
+	ht         map[table.Value][]int
+	buildRows  *table.Table
+	buildBytes int64
+}
+
+// NewHashJoin builds a hash join of two operators on single key columns.
+func NewHashJoin(build, probe Operator, buildKey, probeKey int) *HashJoin {
+	return &HashJoin{
+		Build: build, Probe: probe, BuildKey: buildKey, ProbeKey: probeKey,
+		schema: joinSchema("hashjoin", build.Schema(), probe.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *table.Schema { return j.schema }
+
+// MemBytes reports the hash-table working set after Open; the optimizer's
+// energy model charges DRAM power for it.
+func (j *HashJoin) MemBytes() int64 { return j.buildBytes }
+
+// Open implements Operator: it drains the build side.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	if err := j.Build.Open(ctx); err != nil {
+		return err
+	}
+	j.ht = make(map[table.Value][]int)
+	j.buildRows = table.NewTable(j.Build.Schema())
+	j.buildBytes = 0
+	for {
+		b, err := j.Build.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		ctx.ChargeRows(b.Rows(), ctx.Costs.HashBuildCyclesPerRow)
+		j.buildBytes += b.ByteSize()
+		ctx.TouchDRAM(b.ByteSize())
+		for r := 0; r < b.Rows(); r++ {
+			key := normKey(b.Vecs[j.BuildKey].Value(r))
+			j.ht[key] = append(j.ht[key], j.buildRows.Rows())
+			j.buildRows.AppendRow(b.Row(r)...)
+		}
+	}
+	if err := j.Build.Close(ctx); err != nil {
+		return err
+	}
+	if ctx.MemBudgetBytes > 0 && j.buildBytes > ctx.MemBudgetBytes {
+		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d)",
+			j.buildBytes, ctx.MemBudgetBytes)
+	}
+	return j.Probe.Open(ctx)
+}
+
+// normKey normalises int-class values so Int64/Date/Decimal keys compare
+// equal across relations.
+func normKey(v table.Value) table.Value {
+	switch v.Type.Physical() {
+	case table.PhysInt:
+		return table.Value{Type: table.Int64, I: v.I}
+	case table.PhysFloat:
+		return table.Value{Type: table.Float64, F: v.F}
+	default:
+		return table.Value{Type: table.String, S: v.S}
+	}
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
+	for {
+		pb, err := j.Probe.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if pb == nil {
+			return nil, nil
+		}
+		ctx.ChargeRows(pb.Rows(), ctx.Costs.HashProbeCyclesPerRow)
+		out := table.NewBatch(j.schema, pb.Rows())
+		matches := 0
+		for r := 0; r < pb.Rows(); r++ {
+			key := normKey(pb.Vecs[j.ProbeKey].Value(r))
+			for _, bi := range j.ht[key] {
+				row := append(j.buildRows.Slice(bi, bi+1).Row(0), pb.Row(r)...)
+				out.AppendRow(row...)
+				matches++
+			}
+		}
+		ctx.ChargeRows(matches, ctx.Costs.JoinOutputCyclesPerRow)
+		if out.Rows() > 0 {
+			return out, nil
+		}
+		// Keep pulling probe batches until something matches or EOF.
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close(ctx *Ctx) error {
+	j.ht = nil
+	j.buildRows = nil
+	return j.Probe.Close(ctx)
+}
+
+// NestedLoopJoin is the block nested-loop equi-join: for every outer
+// batch it re-executes the inner operator from scratch. It needs almost
+// no memory but re-reads the inner relation once per outer block —
+// trading DRAM watts for repeated I/O, the other side of the §4.1
+// tradeoff.
+type NestedLoopJoin struct {
+	Outer    Operator
+	Inner    Operator
+	OuterKey int
+	InnerKey int
+
+	schema *table.Schema
+	outerB *table.Batch
+	inner  bool // inner currently open
+}
+
+// NewNestedLoopJoin builds a block nested-loop equi-join.
+func NewNestedLoopJoin(outer, inner Operator, outerKey, innerKey int) *NestedLoopJoin {
+	return &NestedLoopJoin{
+		Outer: outer, Inner: inner, OuterKey: outerKey, InnerKey: innerKey,
+		schema: joinSchema("nljoin", outer.Schema(), inner.Schema()),
+	}
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() *table.Schema { return j.schema }
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open(ctx *Ctx) error {
+	j.outerB = nil
+	j.inner = false
+	return j.Outer.Open(ctx)
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
+	for {
+		if j.outerB == nil {
+			ob, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if ob == nil {
+				return nil, nil
+			}
+			if ob.Rows() == 0 {
+				continue
+			}
+			j.outerB = ob
+			if err := j.Inner.Open(ctx); err != nil { // rescan inner
+				return nil, err
+			}
+			j.inner = true
+		}
+		ib, err := j.Inner.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ib == nil {
+			if err := j.Inner.Close(ctx); err != nil {
+				return nil, err
+			}
+			j.inner = false
+			j.outerB = nil
+			continue
+		}
+		// Compare every (outer, inner) pair in the two blocks.
+		ctx.ChargeRows(j.outerB.Rows()*ib.Rows(), ctx.Costs.FilterCyclesPerRow)
+		out := table.NewBatch(j.schema, 0)
+		matches := 0
+		for or := 0; or < j.outerB.Rows(); or++ {
+			ok := normKey(j.outerB.Vecs[j.OuterKey].Value(or))
+			for ir := 0; ir < ib.Rows(); ir++ {
+				ik := normKey(ib.Vecs[j.InnerKey].Value(ir))
+				if ok == ik {
+					row := append(j.outerB.Row(or), ib.Row(ir)...)
+					out.AppendRow(row...)
+					matches++
+				}
+			}
+		}
+		ctx.ChargeRows(matches, ctx.Costs.JoinOutputCyclesPerRow)
+		if out.Rows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close(ctx *Ctx) error {
+	var err error
+	if j.inner {
+		err = j.Inner.Close(ctx)
+		j.inner = false
+	}
+	if e := j.Outer.Close(ctx); err == nil {
+		err = e
+	}
+	return err
+}

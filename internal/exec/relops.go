@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/table"
+)
+
+// Filter drops rows failing the predicate (predicate positions reference
+// the child's schema).
+type Filter struct {
+	In   Operator
+	Pred Pred
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *table.Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) error { return f.In.Open(ctx) }
+
+// Next implements Operator.
+func (f *Filter) Next(ctx *Ctx) (*table.Batch, error) {
+	for {
+		b, err := f.In.Next(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := applyPredEmit(ctx, b, f.Pred, identity(len(b.Vecs)), f.In.Schema())
+		if out.Rows() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close(ctx *Ctx) error { return f.In.Close(ctx) }
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Project evaluates scalar expressions into a new batch.
+type Project struct {
+	In    Operator
+	Exprs []Scalar
+	Names []string
+
+	schema *table.Schema
+}
+
+// NewProject builds a projection; names label the output columns.
+func NewProject(in Operator, exprs []Scalar, names []string) *Project {
+	if len(exprs) != len(names) {
+		panic(fmt.Sprintf("exec: %d exprs, %d names", len(exprs), len(names)))
+	}
+	cols := make([]table.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = table.Col(names[i], e.Type(in.Schema()))
+	}
+	return &Project{In: in, Exprs: exprs, Names: names,
+		schema: table.NewSchema(in.Schema().Name, cols...)}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *table.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Project) Open(ctx *Ctx) error { return p.In.Open(ctx) }
+
+// Next implements Operator.
+func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
+	b, err := p.In.Next(ctx)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := &table.Batch{Schema: p.schema, Vecs: make([]*table.Vector, len(p.Exprs))}
+	for i, e := range p.Exprs {
+		out.Vecs[i] = e.EvalInto(ctx, b)
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close(ctx *Ctx) error { return p.In.Close(ctx) }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	In Operator
+	N  int64
+
+	seen int64
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *table.Schema { return l.In.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(ctx *Ctx) error {
+	l.seen = 0
+	return l.In.Open(ctx)
+}
+
+// Next implements Operator.
+func (l *Limit) Next(ctx *Ctx) (*table.Batch, error) {
+	if l.seen >= l.N {
+		return nil, nil
+	}
+	b, err := l.In.Next(ctx)
+	if err != nil || b == nil {
+		return nil, err
+	}
+	remain := l.N - l.seen
+	if int64(b.Rows()) <= remain {
+		l.seen += int64(b.Rows())
+		return b, nil
+	}
+	out := table.NewBatch(l.Schema(), int(remain))
+	for r := 0; int64(r) < remain; r++ {
+		out.AppendRow(b.Row(r)...)
+	}
+	l.seen = l.N
+	return out, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close(ctx *Ctx) error { return l.In.Close(ctx) }
+
+// Values is a leaf operator over an in-memory table (no storage charge):
+// used for tests, INSERT sources and tiny dimension tables.
+type Values struct {
+	Tab       *table.Table
+	BatchRows int
+
+	next int
+}
+
+// Schema implements Operator.
+func (v *Values) Schema() *table.Schema { return v.Tab.Schema }
+
+// Open implements Operator.
+func (v *Values) Open(ctx *Ctx) error {
+	v.next = 0
+	if v.BatchRows <= 0 {
+		v.BatchRows = 4096
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (v *Values) Next(ctx *Ctx) (*table.Batch, error) {
+	if v.next >= v.Tab.Rows() {
+		return nil, nil
+	}
+	hi := v.next + v.BatchRows
+	if hi > v.Tab.Rows() {
+		hi = v.Tab.Rows()
+	}
+	b := v.Tab.Slice(v.next, hi)
+	v.next = hi
+	return b, nil
+}
+
+// Close implements Operator.
+func (v *Values) Close(ctx *Ctx) error { return nil }

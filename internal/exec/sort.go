@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"energydb/internal/table"
+)
+
+// SortKey orders by one column.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// Sort materialises its input and emits it ordered by the keys. When the
+// materialised input exceeds ctx.MemBudgetBytes and a spill volume is
+// attached, it behaves as an external sort: runs of budget size are
+// charged as writes to the spill volume and read back once during the
+// merge (the data-plane sort itself happens in memory; the timing plane
+// pays the real I/O an external sort would).
+type Sort struct {
+	In   Operator
+	Keys []SortKey
+
+	out  *table.Table
+	next int
+	// Spills reports how many runs were spilled during the last Open.
+	Spills int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *table.Schema { return s.In.Schema() }
+
+// Open implements Operator: it fully sorts the input.
+func (s *Sort) Open(ctx *Ctx) error {
+	if err := s.In.Open(ctx); err != nil {
+		return err
+	}
+	s.out = table.NewTable(s.In.Schema())
+	s.next = 0
+	s.Spills = 0
+	var bytes int64
+	for {
+		b, err := s.In.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		bytes += b.ByteSize()
+		ctx.TouchDRAM(b.ByteSize())
+		for r := 0; r < b.Rows(); r++ {
+			s.out.AppendRow(b.Row(r)...)
+		}
+	}
+	if err := s.In.Close(ctx); err != nil {
+		return err
+	}
+
+	n := s.out.Rows()
+	if n > 1 {
+		// Comparison sort cost: n log2 n per key column.
+		logN := math.Log2(float64(n))
+		ctx.ChargeRows(n, ctx.Costs.SortCyclesPerRowLog*logN*float64(len(s.Keys)))
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return s.less(idx[a], idx[b]) })
+		sorted := table.NewTable(s.out.Schema)
+		for _, i := range idx {
+			sorted.AppendRow(s.out.Slice(i, i+1).Row(0)...)
+		}
+		s.out = sorted
+	}
+
+	// External-sort spill charge: write all runs, read them back to merge.
+	if ctx.MemBudgetBytes > 0 && bytes > ctx.MemBudgetBytes && ctx.Temp != nil {
+		runs := int((bytes + ctx.MemBudgetBytes - 1) / ctx.MemBudgetBytes)
+		s.Spills = runs
+		firstPage, pages := ctx.Temp.AllocBytes(bytes)
+		for pg := firstPage; pg < firstPage+pages; pg++ {
+			ctx.Temp.WritePage(ctx.P, pg)
+		}
+		ctx.Temp.ReadRange(ctx.P, firstPage, firstPage+pages)
+		// Merge cost: one more comparison pass.
+		ctx.ChargeRows(n, ctx.Costs.SortCyclesPerRowLog*math.Log2(float64(runs+1)))
+	}
+	return nil
+}
+
+func (s *Sort) less(a, b int) bool {
+	for _, k := range s.Keys {
+		c := s.out.Column(k.Col).Value(a).Compare(s.out.Column(k.Col).Value(b))
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// Next implements Operator.
+func (s *Sort) Next(ctx *Ctx) (*table.Batch, error) {
+	if s.next >= s.out.Rows() {
+		return nil, nil
+	}
+	hi := s.next + ctx.VectorSize
+	if hi > s.out.Rows() {
+		hi = s.out.Rows()
+	}
+	b := s.out.Slice(s.next, hi)
+	s.next = hi
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close(ctx *Ctx) error {
+	s.out = nil
+	return nil
+}

@@ -1,0 +1,104 @@
+package opt
+
+import (
+	"fmt"
+
+	"energydb/internal/exec"
+)
+
+// Objective selects what the optimizer minimises.
+type Objective int
+
+const (
+	// MinTime is the classical objective: fastest plan wins.
+	MinTime Objective = iota
+	// MinEnergy minimises modelled joules — the paper's proposal.
+	MinEnergy
+	// MinEDP minimises energy x delay, a balanced compromise.
+	MinEDP
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinTime:
+		return "time"
+	case MinEnergy:
+		return "energy"
+	default:
+		return "edp"
+	}
+}
+
+// Env describes the hardware to the cost models: performance parameters
+// for the time model, marginal power parameters for the energy model.
+// Power is *marginal* (above idle): the paper's Figure 2 arithmetic
+// attributes only busy watts to the query ("assuming that an idle CPU
+// does not consume any power, or ... some other concurrent task is taking
+// up the rest of the CPU cycles").
+type Env struct {
+	CPUFreqHz float64
+	Cores     int
+
+	// ScanBW is the aggregate sequential bandwidth of the data volume
+	// (bytes/s); PageLatency the per-page fixed cost; PageBytes the page
+	// size.
+	ScanBW      float64
+	PageLatency float64
+	PageBytes   int64
+
+	// Marginal power, watts.
+	CPUWattPerCore float64 // busy minus idle, per core
+	StorageWatt    float64 // volume busy minus idle, whole array
+	// DRAMWattPerByte is the holding power of operator working memory
+	// (hash tables, sort runs). Datasheet DRAM is ~1.3e-9 W/byte; the
+	// paper argues optimizers should treat memory as power-expensive, so
+	// experiments sweep this knob upward (see EXPERIMENTS.md E3).
+	DRAMWattPerByte float64
+
+	Costs exec.CostParams
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (e *Env) Validate() error {
+	if e.CPUFreqHz <= 0 || e.Cores <= 0 {
+		return fmt.Errorf("opt: env CPU not configured: %+v", e)
+	}
+	if e.ScanBW <= 0 || e.PageBytes <= 0 {
+		return fmt.Errorf("opt: env storage not configured: %+v", e)
+	}
+	return nil
+}
+
+// Cost is a plan cost under both models.
+type Cost struct {
+	Seconds float64
+	Joules  float64
+	// MemBytes is the peak working memory the plan holds (for reporting
+	// and for the DRAM holding-power term already folded into Joules).
+	MemBytes int64
+}
+
+// Score reduces a cost to the optimizer's comparison key.
+func (c Cost) Score(o Objective) float64 {
+	switch o {
+	case MinTime:
+		return c.Seconds
+	case MinEnergy:
+		return c.Joules
+	default:
+		return c.Joules * c.Seconds
+	}
+}
+
+// Add composes sequential costs: times add, joules add, memory peaks.
+func (c Cost) Add(d Cost) Cost {
+	m := c.MemBytes
+	if d.MemBytes > m {
+		m = d.MemBytes
+	}
+	return Cost{Seconds: c.Seconds + d.Seconds, Joules: c.Joules + d.Joules, MemBytes: m}
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("%.4fs / %.2fJ / %dB mem", c.Seconds, c.Joules, c.MemBytes)
+}

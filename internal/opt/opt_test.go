@@ -1,0 +1,457 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"energydb/internal/compress"
+	"energydb/internal/energy"
+	"energydb/internal/exec"
+	"energydb/internal/hw"
+	"energydb/internal/sim"
+	"energydb/internal/storage"
+	"energydb/internal/table"
+)
+
+// testWorld is a catalog over a simulated 1-CPU + 3-SSD machine with two
+// relations: a fact table (ordersish) and a small dimension (custish).
+type testWorld struct {
+	eng   *sim.Engine
+	meter *energy.Meter
+	cpu   *hw.CPU
+	vol   *storage.Volume
+	cat   *Catalog
+	env   *Env
+}
+
+func newWorld(t *testing.T, factRows, dimRows int) *testWorld {
+	t.Helper()
+	eng := sim.NewEngine()
+	meter := energy.NewMeter()
+	cpu := hw.NewCPU(eng, meter, "cpu", hw.ScanCPU2008())
+	devs := make([]storage.BlockDevice, 3)
+	for i := range devs {
+		devs[i] = hw.NewSSD(eng, meter, fmt.Sprintf("ssd%d", i), hw.FlashSSD2008())
+	}
+	vol := storage.NewVolume("vol", storage.Striped, 16<<10, devs)
+
+	fact := factTable(factRows)
+	dim := dimTable(dimRows)
+	cat := NewCatalog()
+
+	addRel := func(tab *table.Table, fileBase int32) {
+		colsRaw := make([]compress.Codec, len(tab.Schema.Cols))
+		colsLZ := make([]compress.Codec, len(tab.Schema.Cols))
+		for i := range colsRaw {
+			colsRaw[i] = compress.Raw
+			colsLZ[i] = compress.LZ
+		}
+		stRaw, err := exec.PlaceColumnMajor(tab, vol, fileBase, 8192, colsRaw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stLZ, err := exec.PlaceColumnMajor(tab, vol, fileBase+1, 8192, colsLZ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stRow, err := exec.PlaceRowMajor(tab, vol, fileBase+2, 8192, compress.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat.Add(tab.Schema.Name, &Placement{
+			Variants: []Variant{
+				{Name: "col/raw", ST: stRaw},
+				{Name: "col/lz", ST: stLZ},
+				{Name: "row/raw", ST: stRow},
+			},
+			Stats: Analyze(tab),
+		})
+	}
+	addRel(fact, 10)
+	addRel(dim, 20)
+
+	spec := hw.FlashSSD2008()
+	env := &Env{
+		CPUFreqHz:       2.4e9,
+		Cores:           1,
+		ScanBW:          3 * spec.ReadBW,
+		PageLatency:     spec.ReadLatency,
+		PageBytes:       16 << 10,
+		CPUWattPerCore:  90,
+		StorageWatt:     5,
+		DRAMWattPerByte: 1.3e-9, // ~1.3 W/GB datasheet
+		Costs:           exec.DefaultCosts(),
+	}
+	return &testWorld{eng: eng, meter: meter, cpu: cpu, vol: vol, cat: cat, env: env}
+}
+
+func factTable(n int) *table.Table {
+	s := table.NewSchema("fact",
+		table.Col("f_key", table.Int64),
+		table.Col("f_dim", table.Int64),
+		table.Col("f_price", table.Float64),
+		table.ColW("f_tag", table.String, 10),
+	)
+	rng := rand.New(rand.NewSource(11))
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	t := table.NewTable(s)
+	for i := 0; i < n; i++ {
+		t.AppendRow(
+			table.IntVal(int64(i)),
+			table.IntVal(rng.Int63n(50)),
+			table.FloatVal(rng.Float64()*1000),
+			table.StrVal(tags[rng.Intn(len(tags))]),
+		)
+	}
+	return t
+}
+
+func dimTable(n int) *table.Table {
+	s := table.NewSchema("dim",
+		table.Col("d_key", table.Int64),
+		table.ColW("d_name", table.String, 12),
+	)
+	t := table.NewTable(s)
+	for i := 0; i < n; i++ {
+		t.AppendRow(table.IntVal(int64(i)), table.StrVal(fmt.Sprintf("dim-%03d", i)))
+	}
+	return t
+}
+
+// execute runs a plan on the world's hardware and returns the result.
+func (w *testWorld) execute(t *testing.T, plan *Plan) *table.Table {
+	t.Helper()
+	var out *table.Table
+	w.eng.Go("query", func(p *sim.Proc) {
+		ctx := exec.NewCtx(p, w.cpu)
+		op, err := plan.Build(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		out, err = exec.Collect(ctx, op)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func col(tbl, c string) ColRef { return ColRef{Table: tbl, Col: c} }
+
+func TestOptimizeSingleTableFilter(t *testing.T) {
+	w := newWorld(t, 20000, 50)
+	q := &Query{
+		Tables: []string{"f"},
+		Rels:   map[string]string{"f": "fact"},
+		Preds: []PredIR{
+			{Left: col("f", "f_dim"), Op: exec.Eq, Val: table.IntVal(7)},
+		},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+		},
+		Limit: -1,
+	}
+	plan, err := Optimize(q, w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.execute(t, plan)
+
+	// Cross-check against the raw data.
+	fact, _ := w.cat.Get("fact")
+	tab := fact.Variants[0].ST.Tab
+	want := 0
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Column(1).I[i] == 7 {
+			want++
+		}
+	}
+	if got.Rows() != want {
+		t.Fatalf("rows = %d, want %d", got.Rows(), want)
+	}
+	if !strings.Contains(plan.Explain(), "scan") {
+		t.Fatal("explain missing scan node")
+	}
+}
+
+func TestAccessPathFlipsWithObjective(t *testing.T) {
+	// The Figure 2 flip at plan level: on a 90 W CPU with 5 W flash, the
+	// time objective should choose the compressed variant (less I/O, scan
+	// is I/O-bound) while the energy objective should choose raw (the
+	// decompression cycles cost more joules than the saved I/O).
+	// Scan a compressible column (small ints compress ~5x under LZ); a
+	// random-float column would make raw optimal under both objectives.
+	w := newWorld(t, 30000, 50)
+	q := func() *Query {
+		return &Query{
+			Tables: []string{"f"},
+			Rels:   map[string]string{"f": "fact"},
+			Outputs: []OutputIR{
+				{Agg: &AggIR{Func: exec.Sum, Arg: &ExprIR{Col: &ColRef{Table: "f", Col: "f_dim"}}, As: "s"}},
+			},
+			Limit: -1,
+		}
+	}
+	timePlan, err := Optimize(q(), w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyPlan, err := Optimize(q(), w.cat, w.env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv := findScanVariant(timePlan.Root)
+	ev := findScanVariant(energyPlan.Root)
+	if tv != "col/lz" {
+		t.Errorf("time objective chose %q, want col/lz\n%s", tv, timePlan.Explain())
+	}
+	if ev != "col/raw" {
+		t.Errorf("energy objective chose %q, want col/raw\n%s", ev, energyPlan.Explain())
+	}
+	// Both models must agree with their own accounting.
+	if timePlan.Cost().Seconds > energyPlan.Cost().Seconds {
+		t.Error("time-optimal plan is slower than energy-optimal plan")
+	}
+	if energyPlan.Cost().Joules > timePlan.Cost().Joules {
+		t.Error("energy-optimal plan uses more joules than time-optimal plan")
+	}
+}
+
+func findScanVariant(n PhysNode) string {
+	switch v := n.(type) {
+	case *PScan:
+		return v.Variant.Name
+	case *PJoin:
+		if s := findScanVariant(v.Left); s != "" {
+			return s
+		}
+		return findScanVariant(v.Right)
+	case *PFilter:
+		return findScanVariant(v.In)
+	case *PProject:
+		return findScanVariant(v.In)
+	case *PAgg:
+		return findScanVariant(v.In)
+	case *PSort:
+		return findScanVariant(v.In)
+	case *PLimit:
+		return findScanVariant(v.In)
+	default:
+		return ""
+	}
+}
+
+func TestJoinPlanCorrectness(t *testing.T) {
+	w := newWorld(t, 5000, 50)
+	q := &Query{
+		Tables: []string{"f", "d"},
+		Rels:   map[string]string{"f": "fact", "d": "dim"},
+		Preds: []PredIR{
+			{Left: col("f", "f_dim"), Op: exec.Eq, Right: col("d", "d_key"), IsJoin: true},
+			{Left: col("d", "d_key"), Op: exec.Lt, Val: table.IntVal(10)},
+		},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+			{Expr: &ExprIR{Col: &ColRef{Table: "d", Col: "d_name"}}, As: "n"},
+		},
+		Limit: -1,
+	}
+	plan, err := Optimize(q, w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.execute(t, plan)
+
+	fact, _ := w.cat.Get("fact")
+	tab := fact.Variants[0].ST.Tab
+	want := 0
+	for i := 0; i < tab.Rows(); i++ {
+		if tab.Column(1).I[i] < 10 {
+			want++
+		}
+	}
+	if got.Rows() != want {
+		t.Fatalf("join rows = %d, want %d", got.Rows(), want)
+	}
+}
+
+func TestJoinAlgorithmFlipsWithMemoryPower(t *testing.T) {
+	// §4.1: pricing memory steeply should tip the optimizer from hash
+	// join to nested-loop join. With an 8-row dimension the NL penalty is
+	// small; sweep the DRAM holding-power knob until the flip happens.
+	w := newWorld(t, 200000, 8)
+	mkQ := func() *Query {
+		return &Query{
+			Tables: []string{"f", "d"},
+			Rels:   map[string]string{"f": "fact", "d": "dim"},
+			Preds: []PredIR{
+				{Left: col("f", "f_dim"), Op: exec.Eq, Right: col("d", "d_key"), IsJoin: true},
+			},
+			Outputs: []OutputIR{
+				{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+			},
+			Limit: -1,
+		}
+	}
+	algoAt := func(wattPerByte float64, obj Objective) string {
+		env := *w.env
+		env.DRAMWattPerByte = wattPerByte
+		plan, err := Optimize(mkQ(), w.cat, &env, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findJoinAlgo(plan.Root)
+	}
+	// At datasheet power both objectives pick hash.
+	if a := algoAt(1.3e-9, MinTime); a != "hash" {
+		t.Fatalf("time objective picked %q at datasheet power", a)
+	}
+	if a := algoAt(1.3e-9, MinEnergy); a != "hash" {
+		t.Fatalf("energy objective picked %q at datasheet power", a)
+	}
+	// Sweep upward: the energy objective must flip to NL at some price
+	// while the time objective never moves (memory watts don't cost time).
+	flipped := false
+	for _, wpb := range []float64{1e-6, 1e-4, 1e-2, 1} {
+		if algoAt(wpb, MinEnergy) == "nl" {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("energy objective never flipped to nested-loop join")
+	}
+	if a := algoAt(1, MinTime); a != "hash" {
+		t.Fatalf("time objective flipped to %q — it should ignore memory power", a)
+	}
+}
+
+func findJoinAlgo(n PhysNode) string {
+	switch v := n.(type) {
+	case *PJoin:
+		return v.Algo
+	case *PFilter:
+		return findJoinAlgo(v.In)
+	case *PProject:
+		return findJoinAlgo(v.In)
+	case *PAgg:
+		return findJoinAlgo(v.In)
+	case *PSort:
+		return findJoinAlgo(v.In)
+	case *PLimit:
+		return findJoinAlgo(v.In)
+	default:
+		return ""
+	}
+}
+
+func TestAggregationPlan(t *testing.T) {
+	w := newWorld(t, 8000, 50)
+	q := &Query{
+		Tables: []string{"f"},
+		Rels:   map[string]string{"f": "fact"},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_tag"}}, As: "tag"},
+			{Agg: &AggIR{Func: exec.Count, As: "n"}, As: "n"},
+			{Agg: &AggIR{Func: exec.Sum, Arg: &ExprIR{Col: &ColRef{Table: "f", Col: "f_price"}}, As: "rev"}, As: "rev"},
+		},
+		GroupBy: []ColRef{col("f", "f_tag")},
+		OrderBy: []OrderIR{{Output: 0}},
+		Limit:   -1,
+	}
+	plan, err := Optimize(q, w.cat, w.env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.execute(t, plan)
+	if got.Rows() != 4 {
+		t.Fatalf("groups = %d, want 4", got.Rows())
+	}
+	var n int64
+	for i := 0; i < got.Rows(); i++ {
+		n += got.Column(1).I[i]
+	}
+	if n != 8000 {
+		t.Fatalf("counts sum to %d", n)
+	}
+	// Sorted by tag ascending.
+	for i := 1; i < got.Rows(); i++ {
+		if got.Column(0).S[i] < got.Column(0).S[i-1] {
+			t.Fatal("order by violated")
+		}
+	}
+}
+
+func TestLimitPlan(t *testing.T) {
+	w := newWorld(t, 5000, 50)
+	q := &Query{
+		Tables:  []string{"f"},
+		Rels:    map[string]string{"f": "fact"},
+		Outputs: []OutputIR{{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"}},
+		Limit:   7,
+	}
+	plan, err := Optimize(q, w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.execute(t, plan)
+	if got.Rows() != 7 {
+		t.Fatalf("rows = %d, want 7", got.Rows())
+	}
+}
+
+func TestDisconnectedJoinGraphErrors(t *testing.T) {
+	w := newWorld(t, 100, 10)
+	q := &Query{
+		Tables:  []string{"f", "d"},
+		Rels:    map[string]string{"f": "fact", "d": "dim"},
+		Outputs: []OutputIR{{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"}},
+		Limit:   -1,
+	}
+	if _, err := Optimize(q, w.cat, w.env, MinTime); err == nil {
+		t.Fatal("expected disconnected-join error")
+	}
+}
+
+func TestUnknownRelationErrors(t *testing.T) {
+	w := newWorld(t, 100, 10)
+	q := &Query{
+		Tables: []string{"x"},
+		Rels:   map[string]string{"x": "ghost"},
+		Limit:  -1,
+	}
+	if _, err := Optimize(q, w.cat, w.env, MinTime); err == nil {
+		t.Fatal("expected unknown-relation error")
+	}
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	tab := dimTable(25)
+	st := Analyze(tab)
+	if st.Rows != 25 {
+		t.Fatalf("rows = %d", st.Rows)
+	}
+	if st.Cols[0].NDV != 25 {
+		t.Fatalf("key NDV = %d, want 25", st.Cols[0].NDV)
+	}
+	if st.Cols[0].Min.I != 0 || st.Cols[0].Max.I != 24 {
+		t.Fatalf("min/max = %v/%v", st.Cols[0].Min, st.Cols[0].Max)
+	}
+}
+
+func TestCostScore(t *testing.T) {
+	c := Cost{Seconds: 2, Joules: 10}
+	if c.Score(MinTime) != 2 || c.Score(MinEnergy) != 10 || c.Score(MinEDP) != 20 {
+		t.Fatalf("scores: %v %v %v", c.Score(MinTime), c.Score(MinEnergy), c.Score(MinEDP))
+	}
+	d := c.Add(Cost{Seconds: 1, Joules: 1, MemBytes: 5})
+	if d.Seconds != 3 || d.Joules != 11 || d.MemBytes != 5 {
+		t.Fatalf("add: %+v", d)
+	}
+}

@@ -1,0 +1,599 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"energydb/internal/exec"
+)
+
+// Optimize compiles a bound query into the cheapest physical plan under
+// the objective: access-path (placement variant) selection per table,
+// predicate pushdown, join order and algorithm by dynamic programming over
+// table subsets, then aggregation, sort and limit.
+func Optimize(q *Query, cat *Catalog, env *Env, obj Objective) (*Plan, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("opt: query has no tables")
+	}
+	if len(q.Tables) > 12 {
+		return nil, fmt.Errorf("opt: %d tables exceeds the 12-table DP limit", len(q.Tables))
+	}
+	o := &optimizer{q: q, cat: cat, env: env, obj: obj}
+	return o.run()
+}
+
+type optimizer struct {
+	q   *Query
+	cat *Catalog
+	env *Env
+	obj Objective
+
+	aliases []string
+	place   map[string]*Placement
+	local   map[string][]PredIR // single-table predicates by alias
+	joins   []PredIR            // cross-table equality predicates
+	resid   []PredIR            // cross-table non-equality predicates
+}
+
+func (o *optimizer) run() (*Plan, error) {
+	if err := o.bindTables(); err != nil {
+		return nil, err
+	}
+	o.classifyPreds()
+
+	// Best scan per alias.
+	scans := make(map[string]PhysNode, len(o.aliases))
+	for _, a := range o.aliases {
+		s, err := o.bestScan(a)
+		if err != nil {
+			return nil, err
+		}
+		scans[a] = s
+	}
+
+	// Join order DP over alias subsets.
+	root, err := o.joinDP(scans)
+	if err != nil {
+		return nil, err
+	}
+
+	// Equality predicates the join tree did not consume (cycles in the
+	// join graph) must still be applied, as residual filters.
+	applied := map[string]bool{}
+	collectJoinPreds(root, applied)
+	for _, jp := range o.joins {
+		if !applied[jp.String()] {
+			o.resid = append(o.resid, jp)
+		}
+	}
+
+	// Residual cross-table filters.
+	if len(o.resid) > 0 {
+		sel := 1.0
+		for _, p := range o.resid {
+			sel *= predSelectivity(p, nil)
+		}
+		card := root.Card() * sel
+		cost := root.Cost().Add(Cost{
+			Seconds: root.Card() * float64(len(o.resid)) * o.env.Costs.FilterCyclesPerRow / o.env.CPUFreqHz,
+			Joules:  root.Card() * float64(len(o.resid)) * o.env.Costs.FilterCyclesPerRow / o.env.CPUFreqHz * o.env.CPUWattPerCore,
+		})
+		root = &PFilter{In: root, Preds: o.resid, card: card, cost: cost}
+	}
+
+	// Aggregation or plain projection.
+	if o.q.HasAggs() {
+		var err error
+		root, err = o.buildAgg(root)
+		if err != nil {
+			return nil, err
+		}
+		root, err = o.buildFinalSelect(root)
+		if err != nil {
+			return nil, err
+		}
+	} else if len(o.q.Outputs) > 0 {
+		var err error
+		root, err = o.buildProject(root)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Order by, limit.
+	if len(o.q.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(o.q.OrderBy))
+		for i, ob := range o.q.OrderBy {
+			keys[i] = exec.SortKey{Col: ob.Output, Desc: ob.Desc}
+		}
+		n := math.Max(root.Card(), 2)
+		cycles := n * math.Log2(n) * o.env.Costs.SortCyclesPerRowLog * float64(len(keys))
+		secs := cycles / o.env.CPUFreqHz
+		mem := int64(n * root.RowBytes())
+		c := root.Cost().Add(Cost{
+			Seconds:  secs,
+			Joules:   secs*o.env.CPUWattPerCore + float64(mem)*o.env.DRAMWattPerByte*secs,
+			MemBytes: mem,
+		})
+		root = &PSort{In: root, Keys: keys, cost: c}
+	}
+	if o.q.Limit >= 0 {
+		root = &PLimit{In: root, N: o.q.Limit}
+	}
+	return &Plan{Root: root, Objective: o.obj}, nil
+}
+
+func (o *optimizer) bindTables() error {
+	o.place = make(map[string]*Placement)
+	seen := map[string]bool{}
+	for _, a := range o.aliasesInOrder() {
+		if seen[a] {
+			return fmt.Errorf("opt: duplicate table alias %q", a)
+		}
+		seen[a] = true
+		rel, ok := o.q.Rels[a]
+		if !ok {
+			return fmt.Errorf("opt: alias %q has no relation", a)
+		}
+		p, err := o.cat.Get(rel)
+		if err != nil {
+			return err
+		}
+		if len(p.Variants) == 0 {
+			return fmt.Errorf("opt: relation %q has no placements", rel)
+		}
+		o.place[a] = p
+	}
+	o.aliases = o.aliasesInOrder()
+	return nil
+}
+
+func (o *optimizer) aliasesInOrder() []string { return o.q.Tables }
+
+func (o *optimizer) classifyPreds() {
+	o.local = make(map[string][]PredIR)
+	for _, p := range o.q.Preds {
+		if !p.IsJoin {
+			o.local[p.Left.Table] = append(o.local[p.Left.Table], p)
+			continue
+		}
+		if p.Left.Table == p.Right.Table {
+			o.local[p.Left.Table] = append(o.local[p.Left.Table], p)
+			continue
+		}
+		if p.Op == exec.Eq {
+			o.joins = append(o.joins, p)
+		} else {
+			o.resid = append(o.resid, p)
+		}
+	}
+}
+
+// requiredCols computes the columns of alias needed anywhere in the query.
+func (o *optimizer) requiredCols(alias string) []string {
+	need := map[string]bool{}
+	add := func(c ColRef) {
+		if c.Table == alias {
+			need[c.Col] = true
+		}
+	}
+	for _, p := range o.q.Preds {
+		add(p.Left)
+		if p.IsJoin {
+			add(p.Right)
+		}
+	}
+	for _, out := range o.q.Outputs {
+		if out.Expr != nil {
+			for _, c := range out.Expr.columns(nil) {
+				add(c)
+			}
+		}
+		if out.Agg != nil && out.Agg.Arg != nil {
+			for _, c := range out.Agg.Arg.columns(nil) {
+				add(c)
+			}
+		}
+	}
+	for _, g := range o.q.GroupBy {
+		add(g)
+	}
+	schema := o.place[alias].Variants[0].ST.Tab.Schema
+	var cols []string
+	for _, c := range schema.Cols { // schema order keeps plans deterministic
+		if need[c.Name] {
+			cols = append(cols, c.Name)
+		}
+	}
+	if len(cols) == 0 {
+		cols = []string{schema.Cols[0].Name} // need at least one for counting
+	}
+	return cols
+}
+
+// bestScan picks the cheapest placement variant for alias under the
+// objective, with local predicates pushed down.
+func (o *optimizer) bestScan(alias string) (PhysNode, error) {
+	pl := o.place[alias]
+	needed := o.requiredCols(alias)
+	preds := o.local[alias]
+
+	var best *PScan
+	var bestScore float64
+	for _, v := range pl.Variants {
+		schema := v.ST.Tab.Schema
+		// Read set: needed columns (they include predicate columns).
+		read := make([]int, 0, len(needed))
+		for _, n := range needed {
+			read = append(read, schema.MustColIndex(n))
+		}
+		emit := make([]int, len(read))
+		for i := range emit {
+			emit[i] = i
+		}
+		sel := 1.0
+		for _, p := range preds {
+			sel *= predSelectivity(p, o.colStats(alias, p.Left.Col))
+		}
+		card := float64(pl.Stats.Rows) * sel
+		cost := o.scanCost(v.ST, read, float64(pl.Stats.Rows), len(preds))
+		cand := &PScan{
+			Alias: alias, Rel: o.q.Rels[alias], Variant: v,
+			Read: read, Emit: emit, Preds: preds,
+			card: card, cost: cost,
+		}
+		cand.cols = make([]ColRef, len(needed))
+		for i, n := range needed {
+			cand.cols[i] = ColRef{Table: alias, Col: n}
+		}
+		if best == nil || cost.Score(o.obj) < bestScore {
+			best = cand
+			bestScore = cost.Score(o.obj)
+		}
+	}
+	return best, nil
+}
+
+// scanCost prices a scan of the given columns of st.
+func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms int) Cost {
+	env := o.env
+	var encBytes, rawBytes, decodeCycles float64
+	if st.Layout == exec.ColumnMajor {
+		for _, ci := range readCols {
+			enc := float64(st.ColEncodedBytes(ci))
+			encBytes += enc
+			raw := float64(st.ColRawBytes(ci))
+			rawBytes += raw
+			decodeCycles += raw * st.Codecs[ci].Cost().DecodeCyclesPerByte
+		}
+	} else {
+		encBytes = float64(st.EncodedBytes())
+		rawBytes = float64(st.RawBytes())
+		decodeCycles = rawBytes * (st.RowCodec.Cost().DecodeCyclesPerByte + env.Costs.RowParseCyclesPerByte)
+	}
+	pages := encBytes/float64(env.PageBytes) + float64(st.NumBlocks()*maxInt(1, len(readCols)))
+	ioTime := encBytes/env.ScanBW + pages*env.PageLatency
+	cpuCycles := decodeCycles + rawBytes*env.Costs.ScanCyclesPerByte +
+		rows*float64(predTerms)*env.Costs.FilterCyclesPerRow
+	cpuTime := cpuCycles / env.CPUFreqHz
+
+	var secs float64
+	if st.Layout == exec.ColumnMajor {
+		secs = math.Max(ioTime, cpuTime) // pipelined scan overlaps I/O and CPU
+	} else {
+		secs = ioTime + cpuTime // row scan is read-then-parse
+	}
+	return Cost{
+		Seconds: secs,
+		Joules:  cpuTime*env.CPUWattPerCore + ioTime*env.StorageWatt,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// colStats returns statistics for alias.col, or nil.
+func (o *optimizer) colStats(alias, col string) *ColStats {
+	pl := o.place[alias]
+	i := pl.Variants[0].ST.Tab.Schema.ColIndex(col)
+	if i < 0 {
+		return nil
+	}
+	return &pl.Stats.Cols[i]
+}
+
+// predSelectivity estimates the fraction of rows passing p.
+func predSelectivity(p PredIR, cs *ColStats) float64 {
+	switch p.Op {
+	case exec.Eq:
+		if p.IsJoin {
+			return 0.1
+		}
+		if cs != nil && cs.NDV > 0 {
+			return 1 / float64(cs.NDV)
+		}
+		return 0.01
+	case exec.Ne:
+		return 0.9
+	default:
+		return 1.0 / 3
+	}
+}
+
+// joinDP finds the cheapest join tree over all aliases.
+func (o *optimizer) joinDP(scans map[string]PhysNode) (PhysNode, error) {
+	n := len(o.aliases)
+	if n == 1 {
+		return scans[o.aliases[0]], nil
+	}
+	idx := map[string]int{}
+	for i, a := range o.aliases {
+		idx[a] = i
+	}
+	best := make(map[uint32]PhysNode)
+	for i, a := range o.aliases {
+		best[1<<uint(i)] = scans[a]
+	}
+	full := uint32(1)<<uint(n) - 1
+	for size := 2; size <= n; size++ {
+		for mask := uint32(1); mask <= full; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			var bestPlan PhysNode
+			var bestScore float64
+			// Enumerate proper subset splits.
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				other := mask ^ sub
+				if sub > other {
+					continue // each unordered split once
+				}
+				l, lok := best[sub]
+				r, rok := best[other]
+				if !lok || !rok {
+					continue
+				}
+				// Find a connecting equality predicate.
+				for _, jp := range o.joins {
+					li, ri := idx[jp.Left.Table], idx[jp.Right.Table]
+					var a, b PhysNode
+					var ac, bc ColRef
+					switch {
+					case sub&(1<<uint(li)) != 0 && other&(1<<uint(ri)) != 0:
+						a, b, ac, bc = l, r, jp.Left, jp.Right
+					case sub&(1<<uint(ri)) != 0 && other&(1<<uint(li)) != 0:
+						a, b, ac, bc = l, r, jp.Right, jp.Left
+					default:
+						continue
+					}
+					for _, cand := range o.joinCandidates(a, b, ac, bc, jp) {
+						if bestPlan == nil || cand.Cost().Score(o.obj) < bestScore {
+							bestPlan = cand
+							bestScore = cand.Cost().Score(o.obj)
+						}
+					}
+				}
+			}
+			if bestPlan != nil {
+				best[mask] = bestPlan
+			}
+		}
+	}
+	plan, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("opt: join graph is disconnected (missing equality predicates)")
+	}
+	return plan, nil
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// joinCandidates prices hash join (both build orientations) and block
+// nested-loop join for a (left cols, right cols) equality pair.
+func (o *optimizer) joinCandidates(l, r PhysNode, lc, rc ColRef, jp PredIR) []PhysNode {
+	env := o.env
+	li := colIndex(l.Columns(), lc)
+	ri := colIndex(r.Columns(), rc)
+	if li < 0 || ri < 0 {
+		return nil
+	}
+	outCard := joinCard(l, r, o.ndvOf(lc, l), o.ndvOf(rc, r))
+	cols := append(append([]ColRef{}, l.Columns()...), r.Columns()...)
+	colsRev := append(append([]ColRef{}, r.Columns()...), l.Columns()...)
+
+	var out []PhysNode
+	mkHash := func(build, probe PhysNode, bi, pi int, cs []ColRef) {
+		buildMem := build.Card() * build.RowBytes()
+		cycles := build.Card()*env.Costs.HashBuildCyclesPerRow +
+			probe.Card()*env.Costs.HashProbeCyclesPerRow +
+			outCard*env.Costs.JoinOutputCyclesPerRow
+		secs := cycles / env.CPUFreqHz
+		elapsed := build.Cost().Seconds + probe.Cost().Seconds + secs
+		c := build.Cost().Add(probe.Cost()).Add(Cost{
+			Seconds:  secs,
+			Joules:   secs*env.CPUWattPerCore + buildMem*env.DRAMWattPerByte*elapsed,
+			MemBytes: int64(buildMem),
+		})
+		out = append(out, &PJoin{Algo: "hash", Left: build, Right: probe,
+			LeftCol: bi, RightCol: pi, Pred: jp, cols: cs, card: outCard, cost: c})
+	}
+	mkHash(l, r, li, ri, cols)
+	mkHash(r, l, ri, li, colsRev)
+
+	// Block NL: outer = smaller side; the inner is re-executed once per
+	// outer batch, paying its full cost each time but holding no memory.
+	outer, inner := l, r
+	oc, ic := li, ri
+	ocols := cols
+	if r.Card() < l.Card() {
+		outer, inner = r, l
+		oc, ic = ri, li
+		ocols = colsRev
+	}
+	batches := math.Max(1, math.Ceil(outer.Card()/4096))
+	pairs := outer.Card() * inner.Card()
+	cycles := pairs*env.Costs.FilterCyclesPerRow + outCard*env.Costs.JoinOutputCyclesPerRow
+	secs := cycles / env.CPUFreqHz
+	innerCost := inner.Cost()
+	c := outer.Cost().Add(Cost{
+		Seconds: innerCost.Seconds*batches + secs,
+		Joules:  innerCost.Joules*batches + secs*env.CPUWattPerCore,
+	})
+	out = append(out, &PJoin{Algo: "nl", Left: outer, Right: inner,
+		LeftCol: oc, RightCol: ic, Pred: jp, cols: ocols, card: outCard, cost: c})
+	return out
+}
+
+// collectJoinPreds gathers the equality predicates a join tree applies.
+func collectJoinPreds(n PhysNode, out map[string]bool) {
+	switch v := n.(type) {
+	case *PJoin:
+		out[v.Pred.String()] = true
+		collectJoinPreds(v.Left, out)
+		collectJoinPreds(v.Right, out)
+	case *PFilter:
+		collectJoinPreds(v.In, out)
+	case *PProject:
+		collectJoinPreds(v.In, out)
+	case *PAgg:
+		collectJoinPreds(v.In, out)
+	case *PSort:
+		collectJoinPreds(v.In, out)
+	case *PLimit:
+		collectJoinPreds(v.In, out)
+	}
+}
+
+func joinCard(l, r PhysNode, lNDV, rNDV float64) float64 {
+	d := math.Max(lNDV, rNDV)
+	if d < 1 {
+		d = 1
+	}
+	return l.Card() * r.Card() / d
+}
+
+// ndvOf estimates the distinct count of a column at a node, capped by the
+// node's cardinality.
+func (o *optimizer) ndvOf(c ColRef, node PhysNode) float64 {
+	cs := o.colStats(c.Table, c.Col)
+	ndv := 1000.0
+	if cs != nil {
+		ndv = float64(cs.NDV)
+	}
+	return math.Min(ndv, math.Max(1, node.Card()))
+}
+
+// buildAgg lowers GROUP BY + aggregates: a projection computes group keys
+// and aggregate arguments as columns, then a PAgg consumes them.
+func (o *optimizer) buildAgg(in PhysNode) (PhysNode, error) {
+	var exprs []*ExprIR
+	var names []string
+	var cols []ColRef
+	for i, g := range o.q.GroupBy {
+		g := g
+		exprs = append(exprs, &ExprIR{Col: &g})
+		names = append(names, fmt.Sprintf("g%d", i))
+		cols = append(cols, g)
+	}
+	groupPos := make([]int, len(o.q.GroupBy))
+	for i := range groupPos {
+		groupPos[i] = i
+	}
+	var aggs []exec.AggSpec
+	var aggRefs []ColRef
+	for _, out := range o.q.Outputs {
+		if out.Agg == nil {
+			continue
+		}
+		spec := exec.AggSpec{Func: out.Agg.Func, As: out.Agg.As}
+		if out.Agg.Arg != nil {
+			spec.Col = len(exprs)
+			exprs = append(exprs, out.Agg.Arg)
+			names = append(names, spec.As+"_arg")
+			cols = append(cols, ColRef{Col: spec.As + "_arg"})
+		}
+		aggs = append(aggs, spec)
+		aggRefs = append(aggRefs, ColRef{Col: spec.As})
+	}
+	projCost := in.Cost().Add(Cost{
+		Seconds: in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz,
+		Joules:  in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz * o.env.CPUWattPerCore,
+	})
+	proj := &PProject{In: in, Exprs: exprs, Names: names, cols: cols, cost: projCost}
+
+	groups := math.Max(1, in.Card()/10) // crude group-count estimate
+	aggCycles := in.Card() * float64(maxInt(1, len(aggs))) * o.env.Costs.AggCyclesPerRow
+	mem := int64(groups * proj.RowBytes())
+	aggCost := projCost.Add(Cost{
+		Seconds:  aggCycles / o.env.CPUFreqHz,
+		Joules:   aggCycles / o.env.CPUFreqHz * o.env.CPUWattPerCore,
+		MemBytes: mem,
+	})
+	outCols := append(append([]ColRef{}, o.q.GroupBy...), aggRefs...)
+	return &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
+		cols: outCols, card: groups, cost: aggCost}, nil
+}
+
+// buildFinalSelect reorders the aggregate node's output (group columns
+// then aggregates) into the SELECT-list order the user asked for.
+func (o *optimizer) buildFinalSelect(in PhysNode) (PhysNode, error) {
+	var exprs []*ExprIR
+	var names []string
+	var cols []ColRef
+	for i, out := range o.q.Outputs {
+		name := out.As
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		if out.Agg != nil {
+			ref := ColRef{Col: out.Agg.As}
+			exprs = append(exprs, &ExprIR{Col: &ref})
+		} else {
+			exprs = append(exprs, out.Expr)
+		}
+		names = append(names, name)
+		cols = append(cols, ColRef{Col: name})
+	}
+	cost := in.Cost().Add(Cost{
+		Seconds: in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz,
+		Joules:  in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz * o.env.CPUWattPerCore,
+	})
+	return &PProject{In: in, Exprs: exprs, Names: names, cols: cols, cost: cost}, nil
+}
+
+// buildProject lowers the plain SELECT list.
+func (o *optimizer) buildProject(in PhysNode) (PhysNode, error) {
+	var exprs []*ExprIR
+	var names []string
+	var cols []ColRef
+	for i, out := range o.q.Outputs {
+		if out.Agg != nil {
+			return nil, fmt.Errorf("opt: aggregate in non-aggregate query")
+		}
+		exprs = append(exprs, out.Expr)
+		name := out.As
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		names = append(names, name)
+		cols = append(cols, ColRef{Col: name})
+	}
+	cost := in.Cost().Add(Cost{
+		Seconds: in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz,
+		Joules:  in.Card() * float64(len(exprs)) * o.env.Costs.ProjectCyclesPerRow / o.env.CPUFreqHz * o.env.CPUWattPerCore,
+	})
+	return &PProject{In: in, Exprs: exprs, Names: names, cols: cols, cost: cost}, nil
+}

@@ -1,0 +1,489 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"energydb/internal/exec"
+)
+
+// Variant is one physical placement of a relation (e.g. "col/lz",
+// "col/raw", "row/raw"). A relation may offer several; access-path
+// selection chooses among them per query and per objective — this choice
+// alone reproduces the Figure 2 flip.
+type Variant struct {
+	Name string
+	ST   *exec.StoredTable
+}
+
+// Placement is everything the optimizer knows about one relation.
+type Placement struct {
+	Variants []Variant
+	Stats    *TableStats
+}
+
+// Catalog maps relation names to placements.
+type Catalog struct {
+	rels map[string]*Placement
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{rels: make(map[string]*Placement)} }
+
+// Add registers a relation.
+func (c *Catalog) Add(name string, p *Placement) { c.rels[name] = p }
+
+// Get returns a relation's placement.
+func (c *Catalog) Get(name string) (*Placement, error) {
+	p, ok := c.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("opt: unknown relation %q", name)
+	}
+	return p, nil
+}
+
+// Names lists registered relations.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for n := range c.rels {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PhysNode is a node of a physical plan: it knows its output columns, its
+// estimated cardinality, its cumulative dual cost, and how to build the
+// executable operator tree.
+type PhysNode interface {
+	Columns() []ColRef
+	Card() float64
+	RowBytes() float64
+	Cost() Cost
+	Build(ctx *exec.Ctx) (exec.Operator, error)
+	explain(b *strings.Builder, indent string)
+}
+
+// colIndex locates a ColRef in a node's output, or -1.
+func colIndex(cols []ColRef, c ColRef) int {
+	for i, x := range cols {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// PScan scans one placement variant with pushed-down predicates.
+type PScan struct {
+	Alias   string
+	Rel     string
+	Variant Variant
+	Read    []int // source schema column indexes fetched
+	Emit    []int // positions within Read forming the output
+	Preds   []PredIR
+
+	cols []ColRef
+	card float64
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (s *PScan) Columns() []ColRef { return s.cols }
+
+// Card implements PhysNode.
+func (s *PScan) Card() float64 { return s.card }
+
+// RowBytes implements PhysNode.
+func (s *PScan) RowBytes() float64 {
+	var w float64
+	for _, e := range s.Emit {
+		w += float64(s.Variant.ST.Tab.Schema.Cols[s.Read[e]].Width)
+	}
+	return w
+}
+
+// Cost implements PhysNode.
+func (s *PScan) Cost() Cost { return s.cost }
+
+// Build implements PhysNode.
+func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	pred, err := s.execPred()
+	if err != nil {
+		return nil, err
+	}
+	if s.Variant.ST.Layout == exec.ColumnMajor {
+		return exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred), nil
+	}
+	// Row scans read the full schema; Read positions are source positions.
+	emit := make([]int, len(s.Emit))
+	for i, e := range s.Emit {
+		emit[i] = s.Read[e]
+	}
+	rowPred, err := s.execPredFull()
+	if err != nil {
+		return nil, err
+	}
+	_ = pred
+	rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
+	rs.Window = 4 // planner scans are big: pipeline with readahead
+	return rs, nil
+}
+
+// execPred translates the pushed predicates to positions within Read.
+func (s *PScan) execPred() (exec.Pred, error) {
+	return s.buildPred(func(col string) (int, error) {
+		srcIdx := s.Variant.ST.Tab.Schema.ColIndex(col)
+		for i, r := range s.Read {
+			if r == srcIdx {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("opt: predicate column %q not fetched", col)
+	})
+}
+
+// execPredFull translates predicates to full source schema positions.
+func (s *PScan) execPredFull() (exec.Pred, error) {
+	return s.buildPred(func(col string) (int, error) {
+		i := s.Variant.ST.Tab.Schema.ColIndex(col)
+		if i < 0 {
+			return 0, fmt.Errorf("opt: unknown predicate column %q", col)
+		}
+		return i, nil
+	})
+}
+
+func (s *PScan) buildPred(pos func(string) (int, error)) (exec.Pred, error) {
+	if len(s.Preds) == 0 {
+		return nil, nil
+	}
+	var terms []exec.Pred
+	for _, p := range s.Preds {
+		i, err := pos(p.Left.Col)
+		if err != nil {
+			return nil, err
+		}
+		if p.IsJoin {
+			j, err := pos(p.Right.Col)
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, &exec.ColCol{Left: i, Right: j, Op: p.Op})
+			continue
+		}
+		terms = append(terms, &exec.ColConst{Col: i, Op: p.Op, Val: p.Val})
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &exec.And{Preds: terms}, nil
+}
+
+func (s *PScan) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sscan %s (%s) cols=%d rows≈%.0f %v", indent, s.Alias, s.Variant.Name, len(s.Emit), s.card, s.cost)
+	for _, p := range s.Preds {
+		fmt.Fprintf(b, " [%v]", p)
+	}
+	b.WriteByte('\n')
+}
+
+// PJoin is a binary join (hash or block nested-loop).
+type PJoin struct {
+	Algo     string   // "hash" or "nl"
+	Left     PhysNode // build (hash) or outer (nl)
+	Right    PhysNode // probe (hash) or inner (nl)
+	LeftCol  int
+	RightCol int
+	Pred     PredIR // the equality predicate this join applies
+
+	cols []ColRef
+	card float64
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (j *PJoin) Columns() []ColRef { return j.cols }
+
+// Card implements PhysNode.
+func (j *PJoin) Card() float64 { return j.card }
+
+// RowBytes implements PhysNode.
+func (j *PJoin) RowBytes() float64 { return j.Left.RowBytes() + j.Right.RowBytes() }
+
+// Cost implements PhysNode.
+func (j *PJoin) Cost() Cost { return j.cost }
+
+// Build implements PhysNode.
+func (j *PJoin) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	l, err := j.Left.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.Right.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if j.Algo == "hash" {
+		return exec.NewHashJoin(l, r, j.LeftCol, j.RightCol), nil
+	}
+	return exec.NewNestedLoopJoin(l, r, j.LeftCol, j.RightCol), nil
+}
+
+func (j *PJoin) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%s%s join on L.%d = R.%d rows≈%.0f %v\n", indent, j.Algo, j.LeftCol, j.RightCol, j.card, j.cost)
+	j.Left.explain(b, indent+"  ")
+	j.Right.explain(b, indent+"  ")
+}
+
+// PFilter applies residual predicates above a join.
+type PFilter struct {
+	In    PhysNode
+	Preds []PredIR
+
+	card float64
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (f *PFilter) Columns() []ColRef { return f.In.Columns() }
+
+// Card implements PhysNode.
+func (f *PFilter) Card() float64 { return f.card }
+
+// RowBytes implements PhysNode.
+func (f *PFilter) RowBytes() float64 { return f.In.RowBytes() }
+
+// Cost implements PhysNode.
+func (f *PFilter) Cost() Cost { return f.cost }
+
+// Build implements PhysNode.
+func (f *PFilter) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	in, err := f.In.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := f.In.Columns()
+	var terms []exec.Pred
+	for _, p := range f.Preds {
+		li := colIndex(cols, p.Left)
+		if li < 0 {
+			return nil, fmt.Errorf("opt: residual column %v not in scope", p.Left)
+		}
+		if p.IsJoin {
+			ri := colIndex(cols, p.Right)
+			if ri < 0 {
+				return nil, fmt.Errorf("opt: residual column %v not in scope", p.Right)
+			}
+			terms = append(terms, &exec.ColCol{Left: li, Right: ri, Op: p.Op})
+		} else {
+			terms = append(terms, &exec.ColConst{Col: li, Op: p.Op, Val: p.Val})
+		}
+	}
+	var pred exec.Pred = &exec.And{Preds: terms}
+	if len(terms) == 1 {
+		pred = terms[0]
+	}
+	return &exec.Filter{In: in, Pred: pred}, nil
+}
+
+func (f *PFilter) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sfilter rows≈%.0f %v", indent, f.card, f.cost)
+	for _, p := range f.Preds {
+		fmt.Fprintf(b, " [%v]", p)
+	}
+	b.WriteByte('\n')
+	f.In.explain(b, indent+"  ")
+}
+
+// PProject evaluates scalar expressions.
+type PProject struct {
+	In    PhysNode
+	Exprs []*ExprIR
+	Names []string
+
+	cols []ColRef
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (p *PProject) Columns() []ColRef { return p.cols }
+
+// Card implements PhysNode.
+func (p *PProject) Card() float64 { return p.In.Card() }
+
+// RowBytes implements PhysNode.
+func (p *PProject) RowBytes() float64 { return float64(8 * len(p.Exprs)) }
+
+// Cost implements PhysNode.
+func (p *PProject) Cost() Cost { return p.cost }
+
+// Build implements PhysNode.
+func (p *PProject) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	in, err := p.In.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	cols := p.In.Columns()
+	exprs := make([]exec.Scalar, len(p.Exprs))
+	for i, e := range p.Exprs {
+		ex, err := buildScalar(e, cols)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ex
+	}
+	return exec.NewProject(in, exprs, p.Names), nil
+}
+
+func buildScalar(e *ExprIR, cols []ColRef) (exec.Scalar, error) {
+	switch {
+	case e.Col != nil:
+		i := colIndex(cols, *e.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("opt: column %v not in scope", *e.Col)
+		}
+		return &exec.ColRef{Col: i}, nil
+	case e.Const != nil:
+		return &exec.Const{Val: *e.Const}, nil
+	default:
+		l, err := buildScalar(e.L, cols)
+		if err != nil {
+			return nil, err
+		}
+		r, err := buildScalar(e.R, cols)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Arith{Op: e.Op, L: l, R: r}, nil
+	}
+}
+
+func (p *PProject) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sproject %d exprs %v\n", indent, len(p.Exprs), p.cost)
+	p.In.explain(b, indent+"  ")
+}
+
+// PAgg groups and aggregates.
+type PAgg struct {
+	In      PhysNode
+	Group   []int // child positions
+	Aggs    []exec.AggSpec
+	AggRefs []ColRef // output refs for aggregate columns
+
+	cols []ColRef
+	card float64
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (a *PAgg) Columns() []ColRef { return a.cols }
+
+// Card implements PhysNode.
+func (a *PAgg) Card() float64 { return a.card }
+
+// RowBytes implements PhysNode.
+func (a *PAgg) RowBytes() float64 { return float64(8 * (len(a.Group) + len(a.Aggs))) }
+
+// Cost implements PhysNode.
+func (a *PAgg) Cost() Cost { return a.cost }
+
+// Build implements PhysNode.
+func (a *PAgg) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	in, err := a.In.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewHashAgg(in, a.Group, a.Aggs), nil
+}
+
+func (a *PAgg) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sagg groups≈%.0f aggs=%d %v\n", indent, a.card, len(a.Aggs), a.cost)
+	a.In.explain(b, indent+"  ")
+}
+
+// PSort orders rows.
+type PSort struct {
+	In   PhysNode
+	Keys []exec.SortKey
+
+	cost Cost
+}
+
+// Columns implements PhysNode.
+func (s *PSort) Columns() []ColRef { return s.In.Columns() }
+
+// Card implements PhysNode.
+func (s *PSort) Card() float64 { return s.In.Card() }
+
+// RowBytes implements PhysNode.
+func (s *PSort) RowBytes() float64 { return s.In.RowBytes() }
+
+// Cost implements PhysNode.
+func (s *PSort) Cost() Cost { return s.cost }
+
+// Build implements PhysNode.
+func (s *PSort) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	in, err := s.In.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Sort{In: in, Keys: s.Keys}, nil
+}
+
+func (s *PSort) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%ssort keys=%d %v\n", indent, len(s.Keys), s.cost)
+	s.In.explain(b, indent+"  ")
+}
+
+// PLimit truncates output.
+type PLimit struct {
+	In PhysNode
+	N  int64
+}
+
+// Columns implements PhysNode.
+func (l *PLimit) Columns() []ColRef { return l.In.Columns() }
+
+// Card implements PhysNode.
+func (l *PLimit) Card() float64 { return math.Min(float64(l.N), l.In.Card()) }
+
+// RowBytes implements PhysNode.
+func (l *PLimit) RowBytes() float64 { return l.In.RowBytes() }
+
+// Cost implements PhysNode.
+func (l *PLimit) Cost() Cost { return l.In.Cost() }
+
+// Build implements PhysNode.
+func (l *PLimit) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	in, err := l.In.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.Limit{In: in, N: l.N}, nil
+}
+
+func (l *PLimit) explain(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%slimit %d\n", indent, l.N)
+	l.In.explain(b, indent+"  ")
+}
+
+// Plan is a costed, buildable physical plan.
+type Plan struct {
+	Root      PhysNode
+	Objective Objective
+}
+
+// Cost reports the plan's dual cost.
+func (p *Plan) Cost() Cost { return p.Root.Cost() }
+
+// Build constructs the executable operator tree.
+func (p *Plan) Build(ctx *exec.Ctx) (exec.Operator, error) { return p.Root.Build(ctx) }
+
+// Explain renders the plan as an indented tree with per-node costs.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objective=%v total=%v\n", p.Objective, p.Root.Cost())
+	p.Root.explain(&b, "")
+	return b.String()
+}

@@ -1,0 +1,133 @@
+// Package sched is the workload manager: admission control that batches
+// query arrivals in time.
+//
+// §4.2 of the paper: "we expect to see workload management policies that
+// encourage identifiable periods of low and high activity — perhaps
+// batching requests at the cost of increased latency." The Batcher holds
+// arriving jobs for a configurable window and releases them together, so
+// the gaps between windows become long enough for disks to spin down
+// (whereas a steady trickle keeps every device at idle power forever).
+package sched
+
+import (
+	"fmt"
+
+	"energydb/internal/sim"
+)
+
+// Job is one admitted unit of work.
+type Job struct {
+	ID  int64
+	Run func(p *sim.Proc)
+
+	submitted float64
+	started   float64
+	finished  float64
+}
+
+// Stats summarises completed work.
+type Stats struct {
+	Completed    int64
+	Batches      int64
+	TotalWait    float64 // time between submission and start
+	TotalLatency float64 // time between submission and completion
+}
+
+// MeanWait reports the average queueing delay added by batching.
+func (s Stats) MeanWait() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.TotalWait / float64(s.Completed)
+}
+
+// MeanLatency reports the average submission-to-completion time.
+func (s Stats) MeanLatency() float64 {
+	if s.Completed == 0 {
+		return 0
+	}
+	return s.TotalLatency / float64(s.Completed)
+}
+
+// Batcher accumulates jobs for Window seconds (measured from the first
+// job of a batch) and then runs the whole batch on up to Workers
+// concurrent processes. Window 0 degenerates to immediate admission.
+type Batcher struct {
+	eng     *sim.Engine
+	Window  float64
+	Workers int
+
+	nextID  int64
+	holding []*Job
+	stats   Stats
+	active  int // batches currently running
+}
+
+// NewBatcher returns a batcher on the engine.
+func NewBatcher(eng *sim.Engine, window float64, workers int) *Batcher {
+	if workers < 1 {
+		panic(fmt.Sprintf("sched: %d workers", workers))
+	}
+	return &Batcher{eng: eng, Window: window, Workers: workers}
+}
+
+// Stats returns a copy of the counters.
+func (b *Batcher) Stats() Stats { return b.stats }
+
+// Active reports how many batches are currently executing.
+func (b *Batcher) Active() int { return b.active }
+
+// Submit admits a job at the current simulated time. It may be called
+// from event context or from a process.
+func (b *Batcher) Submit(run func(p *sim.Proc)) int64 {
+	b.nextID++
+	j := &Job{ID: b.nextID, Run: run, submitted: b.eng.Now()}
+	b.holding = append(b.holding, j)
+	if b.Window <= 0 {
+		b.release()
+		return j.ID
+	}
+	if len(b.holding) == 1 {
+		b.eng.After(b.Window, "sched-window", func() { b.release() })
+	}
+	return j.ID
+}
+
+// release moves the held batch to execution.
+func (b *Batcher) release() {
+	batch := b.holding
+	b.holding = nil
+	if len(batch) == 0 {
+		return
+	}
+	b.stats.Batches++
+	b.active++
+	// A shared cursor feeds up to Workers processes.
+	next := 0
+	workers := b.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	remaining := workers
+	for w := 0; w < workers; w++ {
+		b.eng.Go(fmt.Sprintf("sched-worker%d", w), func(p *sim.Proc) {
+			for {
+				if next >= len(batch) {
+					break
+				}
+				j := batch[next]
+				next++
+				j.started = p.Now()
+				j.Run(p)
+				j.finished = p.Now()
+				b.stats.Completed++
+				b.stats.TotalWait += j.started - j.submitted
+				b.stats.TotalLatency += j.finished - j.submitted
+			}
+			remaining--
+			if remaining == 0 {
+				b.active--
+			}
+		})
+	}
+}

@@ -1,0 +1,181 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"energydb/internal/energy"
+	"energydb/internal/hw"
+	"energydb/internal/sim"
+)
+
+func TestImmediateAdmission(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBatcher(eng, 0, 2)
+	done := 0
+	eng.At(0, "submit", func() {
+		for i := 0; i < 4; i++ {
+			b.Submit(func(p *sim.Proc) {
+				p.Sleep(1)
+				done++
+			})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 4 || b.Stats().Completed != 4 {
+		t.Fatalf("done=%d stats=%+v", done, b.Stats())
+	}
+	// Window 0 releases each submission as its own batch.
+	if b.Stats().Batches != 4 {
+		t.Fatalf("batches = %d", b.Stats().Batches)
+	}
+}
+
+func TestWindowCollectsBatch(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBatcher(eng, 10, 4)
+	var starts []float64
+	for i := 0; i < 5; i++ {
+		at := float64(i) // arrivals at t=0..4, window closes at t=10
+		eng.At(at, "submit", func() {
+			b.Submit(func(p *sim.Proc) {
+				starts = append(starts, p.Now())
+			})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().Batches != 1 {
+		t.Fatalf("batches = %d, want 1", b.Stats().Batches)
+	}
+	for _, s := range starts {
+		if s < 10 {
+			t.Fatalf("job started at %v, before the window closed", s)
+		}
+	}
+	if w := b.Stats().MeanWait(); w < 6 || w > 10 {
+		t.Fatalf("mean wait = %v, want ~8", w)
+	}
+}
+
+func TestWorkerParallelism(t *testing.T) {
+	eng := sim.NewEngine()
+	b := NewBatcher(eng, 0.1, 3)
+	eng.At(0, "submit", func() {
+		for i := 0; i < 6; i++ {
+			b.Submit(func(p *sim.Proc) { p.Sleep(5) })
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 6 jobs of 5s on 3 workers = 2 waves of 5s, after the 0.1s window.
+	want := 0.1 + 10
+	if eng.Now() != want {
+		t.Fatalf("makespan = %v, want %v", eng.Now(), want)
+	}
+}
+
+func TestBatchingEnablesSpinDown(t *testing.T) {
+	// The E4 effect in miniature: sparse arrivals touching a disk. With
+	// no batching the disk never idles long enough to spin down; with a
+	// 60s window the bursts leave long gaps.
+	run := func(window float64) (spins int64, joules float64) {
+		eng := sim.NewEngine()
+		m := energy.NewMeter()
+		d := hw.NewDisk(eng, m, "d", hw.Cheetah15K())
+		d.SpinDownAfter = 15
+		b := NewBatcher(eng, window, 1)
+		rng := rand.New(rand.NewSource(4))
+		at := 0.0
+		for i := 0; i < 40; i++ {
+			at += 5 + rng.Float64()*5 // one query every ~7.5s for ~5 min
+			off := int64(i) * 100 * 1e6
+			eng.At(at, "arrival", func() {
+				b.Submit(func(p *sim.Proc) {
+					d.Read(p, off, 2*1e6)
+				})
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().SpinDowns, float64(m.ComponentEnergy("d", energy.Seconds(eng.Now())))
+	}
+	trickleSpins, _ := run(0)
+	burstSpins, _ := run(60)
+	if trickleSpins > 1 { // at most the trailing timer
+		t.Fatalf("trickle admission spun down %d times", trickleSpins)
+	}
+	if burstSpins < 3 {
+		t.Fatalf("batched admission only spun down %d times", burstSpins)
+	}
+}
+
+func TestBatchingLatencyCost(t *testing.T) {
+	run := func(window float64) float64 {
+		eng := sim.NewEngine()
+		b := NewBatcher(eng, window, 1)
+		for i := 0; i < 10; i++ {
+			at := float64(i)
+			eng.At(at, "a", func() {
+				b.Submit(func(p *sim.Proc) { p.Sleep(0.1) })
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return b.Stats().MeanLatency()
+	}
+	if l0, l30 := run(0), run(30); l30 <= l0 {
+		t.Fatalf("batching should cost latency: window0=%v window30=%v", l0, l30)
+	}
+}
+
+func TestBadWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBatcher(sim.NewEngine(), 1, 0)
+}
+
+// Property: every submitted job completes exactly once regardless of
+// window, worker count and arrival pattern.
+func TestAllJobsComplete(t *testing.T) {
+	f := func(seed int64, windowTenths, workers uint8) bool {
+		eng := sim.NewEngine()
+		b := NewBatcher(eng, float64(windowTenths%50)/10, int(workers%4)+1)
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 1
+		runs := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			at := rng.Float64() * 20
+			eng.At(at, fmt.Sprintf("a%d", i), func() {
+				b.Submit(func(p *sim.Proc) {
+					p.Sleep(rng.Float64() * 0.5)
+					runs[i]++
+				})
+			})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		for _, r := range runs {
+			if r != 1 {
+				return false
+			}
+		}
+		return b.Stats().Completed == int64(n) && b.Active() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// It provides a virtual clock (float64 seconds), an event heap, and a
+// cooperative process model: each simulated activity (a query stream, a
+// background policy) runs in its own goroutine, but the engine guarantees
+// that exactly one process executes at a time and that execution order is a
+// deterministic function of (event time, schedule order). The same program
+// with the same seeds therefore produces bit-identical timings, which the
+// energy accounting layer depends on.
+//
+// The kernel knows nothing about hardware or databases; devices in
+// internal/hw are built from Resource and timers.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// event is a scheduled callback. Events with equal time fire in schedule
+// order (seq), which keeps the simulation deterministic.
+type event struct {
+	t    float64
+	seq  int64
+	name string
+	fn   func()
+	idx  int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine owns the virtual clock and the event queue.
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now   float64
+	queue eventHeap
+	seq   int64
+	yield chan struct{} // a running process signals here when it parks or ends
+	procs map[*Proc]struct{}
+	live  int
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now reports the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t (>= Now). The name is used in
+// diagnostics only.
+func (e *Engine) At(t float64, name string, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q in the past: %v < %v", name, t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: t, seq: e.seq, name: name, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, name string, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	e.At(e.now+d, name, fn)
+}
+
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Live reports the number of processes that have started but not finished.
+func (e *Engine) Live() int { return e.live }
+
+// Run processes events until none remain. If processes are still alive but
+// no event can ever wake them, Run returns a deadlock error naming them.
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	if e.live > 0 {
+		return fmt.Errorf("sim: deadlock: %d process(es) blocked forever: %v", e.live, e.blockedNames())
+	}
+	return nil
+}
+
+// RunUntil processes all events with time <= t, then advances the clock to
+// exactly t. Processes may still be alive (blocked or sleeping past t).
+func (e *Engine) RunUntil(t float64) error {
+	if t < e.now {
+		return fmt.Errorf("sim: RunUntil(%v) is in the past (now=%v)", t, e.now)
+	}
+	for len(e.queue) > 0 && e.queue[0].t <= t {
+		e.step()
+	}
+	e.now = t
+	return nil
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	if ev.t < e.now {
+		panic(fmt.Sprintf("sim: time went backwards popping %q: %v < %v", ev.name, ev.t, e.now))
+	}
+	e.now = ev.t
+	ev.fn()
+}
+
+func (e *Engine) blockedNames() []string {
+	var names []string
+	for p := range e.procs {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the engine. All blocking methods must be called from
+// the process's own goroutine.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	panicked any
+	dead     bool
+}
+
+// Go starts fn as a new simulated process at the current time.
+// fn begins executing when the engine next reaches the current instant in
+// the event order.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = r
+			}
+			p.dead = true
+			e.live--
+			delete(e.procs, p)
+			e.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.After(0, "start:"+name, func() { e.wake(p) })
+	return p
+}
+
+// wake transfers control to p and blocks the engine until p parks again or
+// finishes. It must only be called from engine context (an event callback).
+func (e *Engine) wake(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}
+
+// park suspends the calling process until the engine wakes it.
+func (p *Proc) park() {
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name reports the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now reports the current simulated time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Sleep suspends the process for d seconds of simulated time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v in %q", d, p.name))
+	}
+	e := p.eng
+	e.After(d, "wake:"+p.name, func() { e.wake(p) })
+	p.park()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the process continues.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,204 @@
+package sim
+
+import "fmt"
+
+// Resource is a counted resource (CPU cores, a disk's single actuator, a
+// memory budget) with FIFO queueing. Acquire blocks the calling process
+// until the requested units are available; waiters are served strictly in
+// arrival order, which keeps simulations deterministic and starvation-free.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// onBusyChange, if set, is invoked whenever the number of busy units
+	// changes. Hardware models use it to adjust device power draw.
+	onBusyChange func(inUse int)
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+}
+
+// NewResource creates a resource with the given unit capacity.
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive, got %d", name, capacity))
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+// Name reports the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity reports the total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse reports the currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiters reports the number of blocked acquisitions.
+func (r *Resource) Waiters() int { return len(r.waiters) }
+
+// OnBusyChange registers a callback fired whenever InUse changes.
+func (r *Resource) OnBusyChange(fn func(inUse int)) { r.onBusyChange = fn }
+
+// Acquire blocks p until n units are available and then takes them.
+// n must be in [1, capacity] or the process could never be satisfied.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of resource %q (capacity %d)", n, r.name, r.capacity))
+	}
+	// FIFO: even if units are free, queue behind existing waiters so a
+	// large request cannot be starved by a stream of small ones.
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.grant(n)
+		return
+	}
+	r.waiters = append(r.waiters, &resWaiter{p: p, n: n})
+	p.park()
+}
+
+// TryAcquire takes n units if immediately available, reporting success.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: try-acquire %d of resource %q (capacity %d)", n, r.name, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.grant(n)
+		return true
+	}
+	return false
+}
+
+// Release returns n units and wakes as many queued waiters as now fit.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d of resource %q with %d in use", n, r.name, r.inUse))
+	}
+	r.inUse -= n
+	r.notify()
+	r.dispatch()
+}
+
+// Use acquires n units, holds them for d seconds, and releases them.
+func (r *Resource) Use(p *Proc, n int, d float64) {
+	r.Acquire(p, n)
+	p.Sleep(d)
+	r.Release(n)
+}
+
+func (r *Resource) grant(n int) {
+	r.inUse += n
+	r.notify()
+}
+
+func (r *Resource) notify() {
+	if r.onBusyChange != nil {
+		r.onBusyChange(r.inUse)
+	}
+}
+
+// dispatch wakes waiters (in FIFO order) whose requests now fit. Wakeups
+// are scheduled as zero-delay events so they interleave deterministically
+// with the releasing process.
+func (r *Resource) dispatch() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if r.inUse+w.n > r.capacity {
+			return
+		}
+		r.waiters = r.waiters[1:]
+		r.grant(w.n)
+		p := w.p
+		r.eng.After(0, "grant:"+r.name, func() { r.eng.wake(p) })
+	}
+}
+
+// Cond is a condition variable for simulated processes.
+type Cond struct {
+	eng     *Engine
+	name    string
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable.
+func NewCond(e *Engine, name string) *Cond {
+	return &Cond{eng: e, name: name}
+}
+
+// Wait suspends p until Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.eng.After(0, "signal:"+c.name, func() { c.eng.wake(p) })
+}
+
+// Broadcast wakes all waiting processes in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p := p
+		c.eng.After(0, "broadcast:"+c.name, func() { c.eng.wake(p) })
+	}
+}
+
+// Waiting reports the number of blocked processes.
+func (c *Cond) Waiting() int { return len(c.waiters) }
+
+// Mailbox is an unbounded FIFO queue connecting simulated processes;
+// Get blocks while the mailbox is empty.
+type Mailbox[T any] struct {
+	eng   *Engine
+	name  string
+	items []T
+	cond  *Cond
+}
+
+// NewMailbox returns an empty mailbox.
+func NewMailbox[T any](e *Engine, name string) *Mailbox[T] {
+	return &Mailbox[T]{eng: e, name: name, cond: NewCond(e, "mbox:"+name)}
+}
+
+// Put enqueues v and wakes one waiting consumer.
+func (m *Mailbox[T]) Put(v T) {
+	m.items = append(m.items, v)
+	m.cond.Signal()
+}
+
+// Get dequeues the oldest item, blocking while the mailbox is empty.
+func (m *Mailbox[T]) Get(p *Proc) T {
+	for len(m.items) == 0 {
+		m.cond.Wait(p)
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// TryGet dequeues without blocking, reporting whether an item was present.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	if len(m.items) == 0 {
+		return zero, false
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len reports the queued item count.
+func (m *Mailbox[T]) Len() int { return len(m.items) }

@@ -1,0 +1,92 @@
+package sql
+
+import "energydb/internal/table"
+
+// Stmt is a parsed statement: exactly one field is set.
+type Stmt struct {
+	Select  *SelectStmt
+	Create  *CreateStmt
+	Insert  *InsertStmt
+	Explain bool // EXPLAIN prefix on a SELECT
+}
+
+// SelectStmt is a single-block SELECT.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    []TableRef
+	Joins   []JoinClause
+	Where   []WherePred // conjunction
+	GroupBy []ColName
+	OrderBy []OrderItem
+	Limit   int64 // -1 = absent
+}
+
+// SelectItem is one output: a star, an expression, or an aggregate call.
+type SelectItem struct {
+	Star bool
+	Expr *AstExpr
+	Agg  *AggCall
+	As   string
+}
+
+// AggCall is COUNT(*) / SUM(e) / MIN(e) / MAX(e) / AVG(e).
+type AggCall struct {
+	Func string // upper-case
+	Star bool
+	Arg  *AstExpr
+}
+
+// TableRef names a relation with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// JoinClause is JOIN <table> ON <a> = <b>.
+type JoinClause struct {
+	Table TableRef
+	Left  ColName
+	Right ColName
+}
+
+// ColName is a possibly-qualified column reference.
+type ColName struct {
+	Table string
+	Col   string
+}
+
+// WherePred is one conjunct: column <op> (literal | column).
+type WherePred struct {
+	Left  ColName
+	Op    string // = <> < <= > >=
+	Lit   *table.Value
+	Right *ColName
+}
+
+// OrderItem names an output column (by alias or position) with direction.
+type OrderItem struct {
+	Name string // output name; empty when Pos used
+	Pos  int    // 1-based output position; 0 when Name used
+	Desc bool
+}
+
+// AstExpr is an arithmetic expression over columns and literals.
+type AstExpr struct {
+	Col *ColName
+	Lit *table.Value
+	Op  string // + - * /
+	L   *AstExpr
+	R   *AstExpr
+}
+
+// CreateStmt is CREATE TABLE name (col type, ...).
+type CreateStmt struct {
+	Name string
+	Cols []table.Column
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...).
+type InsertStmt struct {
+	Table string
+	Rows  [][]table.Value
+}

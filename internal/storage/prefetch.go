@@ -1,0 +1,56 @@
+package storage
+
+import "energydb/internal/sim"
+
+// Prefetcher implements the energy-oriented prefetching idea the paper
+// borrows from Papathanasiou & Scott (§4.2): instead of trickling reads at
+// the consumer's pace — which keeps a disk spinning at idle power between
+// requests — fetch in large *bursts* so the inter-burst gaps become long
+// enough to amortise a spin-down.
+//
+// Next blocks for the I/O time only when the local window is empty, at
+// which point it reads BurstPages at once (back to back, sequential on the
+// devices). A slow consumer therefore produces an I/O pattern of short
+// intense bursts separated by long, device-idle gaps.
+type Prefetcher struct {
+	Vol        *Volume
+	BurstPages int // pages fetched per burst; <=1 disables batching
+
+	next    int64 // next page to hand out
+	end     int64
+	fetched int64 // pages already read from the volume
+	bursts  int64
+}
+
+// NewPrefetcher returns a prefetcher over logical pages [start, end).
+func NewPrefetcher(v *Volume, start, end int64, burstPages int) *Prefetcher {
+	if burstPages < 1 {
+		burstPages = 1
+	}
+	return &Prefetcher{Vol: v, BurstPages: burstPages, next: start, end: end, fetched: start}
+}
+
+// Next returns the next page number, fetching a new burst if the window is
+// exhausted. It reports false when the range is consumed.
+func (pf *Prefetcher) Next(p *sim.Proc) (int64, bool) {
+	if pf.next >= pf.end {
+		return 0, false
+	}
+	if pf.next >= pf.fetched {
+		hi := pf.fetched + int64(pf.BurstPages)
+		if hi > pf.end {
+			hi = pf.end
+		}
+		for pg := pf.fetched; pg < hi; pg++ {
+			pf.Vol.ReadPage(p, pg)
+		}
+		pf.fetched = hi
+		pf.bursts++
+	}
+	pg := pf.next
+	pf.next++
+	return pg, true
+}
+
+// Bursts reports how many device bursts have been issued.
+func (pf *Prefetcher) Bursts() int64 { return pf.bursts }

@@ -1,0 +1,421 @@
+// Package storage provides the block layer between the database engine and
+// the simulated devices: fixed-size pages mapped onto arrays of disks or
+// SSDs by striping (RAID-0) or rotating-parity RAID-5, a windowed parallel
+// scan that keeps every spindle busy, and an energy-oriented burst
+// prefetcher (Papathanasiou & Scott, USENIX'04 — cited in §4.2 of the
+// paper).
+//
+// The volume is a *timing* plane: it charges simulated device time and
+// tracks I/O statistics. Data bytes themselves live in the table layer;
+// DESIGN.md documents this substitution.
+package storage
+
+import (
+	"fmt"
+
+	"energydb/internal/sim"
+)
+
+// BlockDevice is the device contract volumes build on; hw.Disk and hw.SSD
+// implement it.
+type BlockDevice interface {
+	Read(p *sim.Proc, offset, size int64)
+	Write(p *sim.Proc, offset, size int64)
+}
+
+// Layout selects how pages map to devices.
+type Layout int
+
+const (
+	// Striped is RAID-0: pages round-robin across all devices.
+	Striped Layout = iota
+	// RAID5 rotates one parity page per stripe row; writes pay the classic
+	// read-modify-write penalty (two reads + two writes).
+	RAID5
+)
+
+func (l Layout) String() string {
+	switch l {
+	case Striped:
+		return "raid0"
+	case RAID5:
+		return "raid5"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// VolumeStats counts volume-level I/O.
+type VolumeStats struct {
+	PagesRead    int64
+	PagesWritten int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Volume maps a linear page space onto a set of devices.
+type Volume struct {
+	name     string
+	devs     []BlockDevice
+	pageSize int64
+	layout   Layout
+	stats    VolumeStats
+	nextByte int64
+
+	hostBW   float64
+	hostLink *sim.Resource
+
+	// MaxRunPages caps the pages coalesced into one device request during
+	// Scan (0 = window/4). Real 2008 controllers capped transfers at
+	// 64-256 KB per request; the cap fixes per-seek efficiency across
+	// array sizes.
+	MaxRunPages int
+}
+
+// NewVolume creates a volume. RAID5 requires at least three devices.
+func NewVolume(name string, layout Layout, pageSize int64, devs []BlockDevice) *Volume {
+	if len(devs) == 0 {
+		panic("storage: volume needs at least one device")
+	}
+	if layout == RAID5 && len(devs) < 3 {
+		panic("storage: RAID5 needs at least three devices")
+	}
+	if pageSize <= 0 {
+		panic("storage: page size must be positive")
+	}
+	return &Volume{name: name, devs: devs, pageSize: pageSize, layout: layout}
+}
+
+// Name reports the volume name.
+func (v *Volume) Name() string { return v.name }
+
+// PageSize reports the page size in bytes.
+func (v *Volume) PageSize() int64 { return v.pageSize }
+
+// Devices reports the device count.
+func (v *Volume) Devices() int { return len(v.devs) }
+
+// Layout reports the volume layout.
+func (v *Volume) Layout() Layout { return v.layout }
+
+// Stats returns a copy of the I/O counters.
+func (v *Volume) Stats() VolumeStats { return v.stats }
+
+// SetHostLink models the shared controller/bus path between the device
+// array and the host (SAS links, PCIe): every page transferred also holds
+// a single shared link for bytes/bw seconds. Large arrays saturate this
+// ceiling — the physical source of the diminishing returns in the paper's
+// Figure 1 ("the 7th disk provides less incremental performance benefit
+// than the 6th"). bw <= 0 disables the model.
+func (v *Volume) SetHostLink(eng *sim.Engine, bw float64) {
+	if bw <= 0 {
+		v.hostBW = 0
+		v.hostLink = nil
+		return
+	}
+	v.hostBW = bw
+	v.hostLink = sim.NewResource(eng, v.name+":host", 1)
+}
+
+// hostTransfer charges the shared link for moving n bytes to the host.
+func (v *Volume) hostTransfer(p *sim.Proc, n int64) {
+	if v.hostLink == nil {
+		return
+	}
+	v.hostLink.Use(p, 1, float64(n)/v.hostBW)
+}
+
+// AllocExtent reserves n contiguous bytes and returns the starting byte
+// offset. Extents pack tightly: adjacent extents may share a boundary
+// page, exactly as column-store segments do on real volumes. Allocation
+// is an instantaneous metadata operation.
+func (v *Volume) AllocExtent(n int64) int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: alloc of %d bytes", n))
+	}
+	start := v.nextByte
+	v.nextByte += n
+	return start
+}
+
+// AllocPages reserves n contiguous page-aligned logical pages and returns
+// the first page number.
+func (v *Volume) AllocPages(n int64) int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("storage: alloc of %d pages", n))
+	}
+	if rem := v.nextByte % v.pageSize; rem != 0 {
+		v.nextByte += v.pageSize - rem
+	}
+	start := v.nextByte / v.pageSize
+	v.nextByte += n * v.pageSize
+	return start
+}
+
+// AllocBytes reserves enough contiguous whole pages for n bytes and
+// returns the first page and the page count.
+func (v *Volume) AllocBytes(n int64) (firstPage, pages int64) {
+	pages = (n + v.pageSize - 1) / v.pageSize
+	if pages == 0 {
+		pages = 1
+	}
+	return v.AllocPages(pages), pages
+}
+
+// PageSpan reports the page range [pageLo, pageHi) covering the byte
+// extent [byteLo, byteHi).
+func (v *Volume) PageSpan(byteLo, byteHi int64) (pageLo, pageHi int64) {
+	pageLo = byteLo / v.pageSize
+	pageHi = (byteHi + v.pageSize - 1) / v.pageSize
+	if pageHi <= pageLo {
+		pageHi = pageLo + 1
+	}
+	return pageLo, pageHi
+}
+
+// ReadPages reads an arbitrary set of pages with all devices working in
+// parallel (duplicates are read once). It returns when every page has
+// arrived.
+func (v *Volume) ReadPages(p *sim.Proc, pages []int64) {
+	if len(pages) == 0 {
+		return
+	}
+	eng := p.Engine()
+	done := sim.NewMailbox[int](eng, v.name+":rp")
+	byDev := make([][]int64, len(v.devs))
+	seen := make(map[int64]struct{}, len(pages))
+	for _, pg := range pages {
+		if _, dup := seen[pg]; dup {
+			continue
+		}
+		seen[pg] = struct{}{}
+		d, _ := v.locate(pg)
+		byDev[d] = append(byDev[d], pg)
+	}
+	launched := 0
+	for d, pgs := range byDev {
+		if len(pgs) == 0 {
+			continue
+		}
+		launched++
+		d, runs := d, coalesce(v, pgs)
+		eng.Go(fmt.Sprintf("%s:rp%d", v.name, d), func(rp *sim.Proc) {
+			for _, r := range runs {
+				// One vectored read per contiguous run: the device seeks
+				// once and streams the whole run, exactly as a real
+				// scatter-gather scan request would.
+				v.devs[d].Read(rp, r.off, r.bytes)
+				v.hostTransfer(rp, r.bytes)
+				v.stats.PagesRead += r.bytes / v.pageSize
+				v.stats.BytesRead += r.bytes
+			}
+			done.Put(len(runs))
+		})
+	}
+	for i := 0; i < launched; i++ {
+		done.Get(p)
+	}
+}
+
+type devRun struct {
+	off   int64
+	bytes int64
+}
+
+// coalesce merges a device's page list (in logical-page order, which is
+// offset order per device) into contiguous runs.
+func coalesce(v *Volume, pgs []int64) []devRun {
+	var runs []devRun
+	for _, pg := range pgs {
+		_, off := v.locate(pg)
+		if n := len(runs); n > 0 && runs[n-1].off+runs[n-1].bytes == off {
+			runs[n-1].bytes += v.pageSize
+			continue
+		}
+		runs = append(runs, devRun{off: off, bytes: v.pageSize})
+	}
+	return runs
+}
+
+// locate maps a logical page to (device index, device byte offset).
+// For RAID-0: page i lives on device i%n at row i/n.
+// For RAID-5 (left-symmetric): each row of n device-pages holds n-1 data
+// pages plus one parity page whose device rotates by row.
+func (v *Volume) locate(page int64) (dev int, off int64) {
+	n := int64(len(v.devs))
+	switch v.layout {
+	case Striped:
+		return int(page % n), (page / n) * v.pageSize
+	case RAID5:
+		nd := n - 1 // data pages per row
+		row := page / nd
+		k := page % nd
+		parity := row % n
+		d := k
+		if d >= parity {
+			d++
+		}
+		return int(d), row * v.pageSize
+	default:
+		panic("storage: unknown layout")
+	}
+}
+
+// parityLoc returns the device and offset of the parity page for the row
+// containing the given logical page (RAID5 only).
+func (v *Volume) parityLoc(page int64) (dev int, off int64) {
+	n := int64(len(v.devs))
+	nd := n - 1
+	row := page / nd
+	return int(row % n), row * v.pageSize
+}
+
+// ReadPage charges the I/O time of reading one logical page.
+func (v *Volume) ReadPage(p *sim.Proc, page int64) {
+	if page < 0 {
+		panic(fmt.Sprintf("storage: read of negative page %d", page))
+	}
+	dev, off := v.locate(page)
+	v.devs[dev].Read(p, off, v.pageSize)
+	v.hostTransfer(p, v.pageSize)
+	v.stats.PagesRead++
+	v.stats.BytesRead += v.pageSize
+}
+
+// WritePage charges the I/O time of writing one logical page. On RAID-5
+// this is the full read-modify-write: read old data, read old parity,
+// write data, write parity.
+func (v *Volume) WritePage(p *sim.Proc, page int64) {
+	if page < 0 {
+		panic(fmt.Sprintf("storage: write of negative page %d", page))
+	}
+	dev, off := v.locate(page)
+	if v.layout == RAID5 {
+		pdev, poff := v.parityLoc(page)
+		v.devs[dev].Read(p, off, v.pageSize)
+		v.devs[pdev].Read(p, poff, v.pageSize)
+		v.devs[dev].Write(p, off, v.pageSize)
+		v.devs[pdev].Write(p, poff, v.pageSize)
+		v.stats.BytesRead += 2 * v.pageSize
+		v.stats.BytesWritten += 2 * v.pageSize
+		v.stats.PagesRead += 2
+		v.stats.PagesWritten += 2
+		return
+	}
+	v.devs[dev].Write(p, off, v.pageSize)
+	v.stats.PagesWritten++
+	v.stats.BytesWritten += v.pageSize
+}
+
+// Scan reads logical pages [start, end) using every device concurrently
+// and invokes consume(page) from the calling process as pages arrive. The
+// window bounds the number of pages in flight (<=0 selects 2x devices);
+// consume may charge CPU time, and that work overlaps further I/O — this
+// is the disk/CPU overlap the paper's Figure 2 relies on.
+//
+// Pages are delivered in completion order, not logical order; callers that
+// need ordering must make pages self-describing (the table layer does).
+func (v *Volume) Scan(p *sim.Proc, start, end int64, window int, consume func(page int64)) {
+	if start >= end {
+		return
+	}
+	if window <= 0 {
+		window = 2 * len(v.devs)
+	}
+	eng := p.Engine()
+	tokens := sim.NewResource(eng, v.name+":scanwin", window)
+	done := sim.NewMailbox[int64](eng, v.name+":scan")
+
+	// Partition pages by owning device so each reader's accesses are
+	// sequential on its device.
+	byDev := make([][]int64, len(v.devs))
+	for pg := start; pg < end; pg++ {
+		d, _ := v.locate(pg)
+		byDev[d] = append(byDev[d], pg)
+	}
+	// Coalesce each device's pages into vectored runs no larger than a
+	// quarter of the window, so one seek covers many pages while the
+	// window still bounds bytes in flight.
+	maxRun := v.MaxRunPages
+	if maxRun <= 0 {
+		maxRun = window / 4
+	}
+	if maxRun < 1 {
+		maxRun = 1
+	}
+	if maxRun > window {
+		maxRun = window
+	}
+	for d, pages := range byDev {
+		if len(pages) == 0 {
+			continue
+		}
+		d, pages := d, pages
+		eng.Go(fmt.Sprintf("%s:reader%d", v.name, d), func(rp *sim.Proc) {
+			i := 0
+			for i < len(pages) {
+				// Extend the run while pages stay contiguous on device.
+				j := i + 1
+				_, off := v.locate(pages[i])
+				for j < len(pages) && j-i < maxRun {
+					_, next := v.locate(pages[j])
+					if next != off+int64(j-i)*v.pageSize {
+						break
+					}
+					j++
+				}
+				n := j - i
+				tokens.Acquire(rp, n)
+				v.devs[d].Read(rp, off, int64(n)*v.pageSize)
+				v.hostTransfer(rp, int64(n)*v.pageSize)
+				v.stats.PagesRead += int64(n)
+				v.stats.BytesRead += int64(n) * v.pageSize
+				for ; i < j; i++ {
+					done.Put(pages[i])
+				}
+			}
+		})
+	}
+	for i := start; i < end; i++ {
+		pg := done.Get(p)
+		consume(pg)
+		tokens.Release(1)
+	}
+}
+
+// ReadRange reads pages [start, end) with all devices working in parallel
+// and returns when every page has arrived. It is Scan without a consumer:
+// the caller blocks for max-over-devices time instead of sum.
+func (v *Volume) ReadRange(p *sim.Proc, start, end int64) {
+	if start >= end {
+		return
+	}
+	eng := p.Engine()
+	done := sim.NewMailbox[int64](eng, v.name+":rr")
+	byDev := make([][]int64, len(v.devs))
+	for pg := start; pg < end; pg++ {
+		d, _ := v.locate(pg)
+		byDev[d] = append(byDev[d], pg)
+	}
+	launched := 0
+	for d, pages := range byDev {
+		if len(pages) == 0 {
+			continue
+		}
+		launched++
+		d, pages := d, pages
+		eng.Go(fmt.Sprintf("%s:rr%d", v.name, d), func(rp *sim.Proc) {
+			for _, pg := range pages {
+				_, off := v.locate(pg)
+				v.devs[d].Read(rp, off, v.pageSize)
+				v.hostTransfer(rp, v.pageSize)
+				v.stats.PagesRead++
+				v.stats.BytesRead += v.pageSize
+			}
+			done.Put(int64(len(pages)))
+		})
+	}
+	for i := 0; i < launched; i++ {
+		done.Get(p)
+	}
+}

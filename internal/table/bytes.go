@@ -1,0 +1,164 @@
+package table
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file defines the wire encodings shared by the column store, the
+// row store and the WAL:
+//
+//   - int-class values: 8-byte little-endian
+//   - float values:     8-byte little-endian of the IEEE bits
+//   - strings:          uvarint length + bytes
+//
+// Column encodings feed the compression codecs (which are byte
+// transformers); row encodings form slotted row-store pages.
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func appendUvarint(dst []byte, x uint64) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+func readUvarint(src []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range src {
+		if i == 10 {
+			return 0, -1
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+func appendLE64(dst []byte, u uint64) []byte {
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func readLE64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// EncodeBytes appends the wire form of elements [lo, hi) of v to dst.
+func (v *Vector) EncodeBytes(dst []byte, lo, hi int) []byte {
+	switch v.Type.Physical() {
+	case PhysInt:
+		for _, x := range v.I[lo:hi] {
+			dst = appendLE64(dst, uint64(x))
+		}
+	case PhysFloat:
+		for _, x := range v.F[lo:hi] {
+			dst = appendLE64(dst, math.Float64bits(x))
+		}
+	default:
+		for _, s := range v.S[lo:hi] {
+			dst = appendUvarint(dst, uint64(len(s)))
+			dst = append(dst, s...)
+		}
+	}
+	return dst
+}
+
+// DecodeVector parses n values of type t from data, which must contain
+// exactly n encoded values.
+func DecodeVector(t Type, data []byte, n int) (*Vector, error) {
+	v := NewVector(t, n)
+	switch t.Physical() {
+	case PhysInt:
+		if len(data) != n*8 {
+			return nil, fmt.Errorf("table: int column of %d values needs %d bytes, have %d", n, n*8, len(data))
+		}
+		for i := 0; i < n; i++ {
+			v.I = append(v.I, int64(readLE64(data[i*8:])))
+		}
+	case PhysFloat:
+		if len(data) != n*8 {
+			return nil, fmt.Errorf("table: float column of %d values needs %d bytes, have %d", n, n*8, len(data))
+		}
+		for i := 0; i < n; i++ {
+			v.F = append(v.F, math.Float64frombits(readLE64(data[i*8:])))
+		}
+	default:
+		off := 0
+		for i := 0; i < n; i++ {
+			l, k := readUvarint(data[off:])
+			if k <= 0 || l > uint64(len(data)) || off+k+int(l) > len(data) {
+				return nil, fmt.Errorf("table: corrupt string column at value %d", i)
+			}
+			off += k
+			v.S = append(v.S, string(data[off:off+int(l)]))
+			off += int(l)
+		}
+		if off != len(data) {
+			return nil, fmt.Errorf("table: %d trailing bytes after string column", len(data)-off)
+		}
+	}
+	return v, nil
+}
+
+// EncodeRows appends the row-major wire form of batch rows [lo, hi): each
+// row is its columns' wire values concatenated in schema order. This is
+// the row-store page payload and the WAL record body.
+func (b *Batch) EncodeRows(dst []byte, lo, hi int) []byte {
+	for r := lo; r < hi; r++ {
+		for _, v := range b.Vecs {
+			dst = v.EncodeBytes(dst, r, r+1)
+		}
+	}
+	return dst
+}
+
+// DecodeRows parses n rows in the EncodeRows format into a fresh batch.
+func DecodeRows(s *Schema, data []byte, n int) (*Batch, error) {
+	b := NewBatch(s, n)
+	off := 0
+	for r := 0; r < n; r++ {
+		for ci, c := range s.Cols {
+			switch c.Type.Physical() {
+			case PhysInt:
+				if off+8 > len(data) {
+					return nil, fmt.Errorf("table: truncated row %d col %d", r, ci)
+				}
+				b.Vecs[ci].I = append(b.Vecs[ci].I, int64(readLE64(data[off:])))
+				off += 8
+			case PhysFloat:
+				if off+8 > len(data) {
+					return nil, fmt.Errorf("table: truncated row %d col %d", r, ci)
+				}
+				b.Vecs[ci].F = append(b.Vecs[ci].F, math.Float64frombits(readLE64(data[off:])))
+				off += 8
+			default:
+				l, k := readUvarint(data[off:])
+				if k <= 0 || l > uint64(len(data)) || off+k+int(l) > len(data) {
+					return nil, fmt.Errorf("table: corrupt string in row %d col %d", r, ci)
+				}
+				off += k
+				b.Vecs[ci].S = append(b.Vecs[ci].S, string(data[off:off+int(l)]))
+				off += int(l)
+			}
+		}
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("table: %d trailing bytes after %d rows", len(data)-off, n)
+	}
+	return b, nil
+}

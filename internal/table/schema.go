@@ -1,0 +1,101 @@
+package table
+
+import "fmt"
+
+// Column describes one attribute of a relation. Width is the declared (or
+// expected average) byte width of the value, used by cost models to size
+// scans before execution; for PhysInt/PhysFloat columns it is always 8.
+type Column struct {
+	Name  string
+	Type  Type
+	Width int
+}
+
+// Col builds a column, defaulting Width to 8 for fixed-width physical
+// types and 16 for strings.
+func Col(name string, t Type) Column {
+	w := 8
+	if t.Physical() == PhysString {
+		w = 16
+	}
+	return Column{Name: name, Type: t, Width: w}
+}
+
+// ColW builds a column with an explicit width (e.g. TPC-H char(N)).
+func ColW(name string, t Type, width int) Column {
+	return Column{Name: name, Type: t, Width: width}
+}
+
+// Schema is an ordered list of columns with a relation name.
+type Schema struct {
+	Name string
+	Cols []Column
+}
+
+// NewSchema builds a schema, rejecting duplicate column names.
+func NewSchema(name string, cols ...Column) *Schema {
+	seen := map[string]bool{}
+	for _, c := range cols {
+		if seen[c.Name] {
+			panic(fmt.Sprintf("table: duplicate column %q in schema %q", c.Name, name))
+		}
+		seen[c.Name] = true
+	}
+	return &Schema{Name: name, Cols: cols}
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MustColIndex is ColIndex that panics on unknown columns, for internal
+// plan construction where absence is a bug.
+func (s *Schema) MustColIndex(name string) int {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("table: schema %q has no column %q", s.Name, name))
+	}
+	return i
+}
+
+// Project returns a schema with only the named columns (in the given
+// order) and their indexes in the source schema.
+func (s *Schema) Project(names ...string) (*Schema, []int, error) {
+	cols := make([]Column, 0, len(names))
+	idx := make([]int, 0, len(names))
+	for _, n := range names {
+		i := s.ColIndex(n)
+		if i < 0 {
+			return nil, nil, fmt.Errorf("table: schema %q has no column %q", s.Name, n)
+		}
+		cols = append(cols, s.Cols[i])
+		idx = append(idx, i)
+	}
+	return NewSchema(s.Name, cols...), idx, nil
+}
+
+// RowWidth is the expected byte width of one tuple under this schema.
+func (s *Schema) RowWidth() int {
+	w := 0
+	for _, c := range s.Cols {
+		w += c.Width
+	}
+	return w
+}
+
+func (s *Schema) String() string {
+	out := s.Name + "("
+	for i, c := range s.Cols {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s %v", c.Name, c.Type)
+	}
+	return out + ")"
+}

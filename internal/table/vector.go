@@ -1,0 +1,203 @@
+package table
+
+import "fmt"
+
+// Vector is a typed column of values. Exactly one of the backing slices is
+// used, selected by the type's physical class.
+type Vector struct {
+	Type Type
+	I    []int64
+	F    []float64
+	S    []string
+}
+
+// NewVector returns an empty vector of type t with the given capacity.
+func NewVector(t Type, capacity int) *Vector {
+	v := &Vector{Type: t}
+	switch t.Physical() {
+	case PhysInt:
+		v.I = make([]int64, 0, capacity)
+	case PhysFloat:
+		v.F = make([]float64, 0, capacity)
+	case PhysString:
+		v.S = make([]string, 0, capacity)
+	}
+	return v
+}
+
+// Len reports the number of values.
+func (v *Vector) Len() int {
+	switch v.Type.Physical() {
+	case PhysInt:
+		return len(v.I)
+	case PhysFloat:
+		return len(v.F)
+	default:
+		return len(v.S)
+	}
+}
+
+// Append adds a value, which must match the vector's physical class.
+func (v *Vector) Append(val Value) {
+	if val.Type.Physical() != v.Type.Physical() {
+		panic(fmt.Sprintf("table: appending %v to %v vector", val.Type, v.Type))
+	}
+	switch v.Type.Physical() {
+	case PhysInt:
+		v.I = append(v.I, val.I)
+	case PhysFloat:
+		v.F = append(v.F, val.F)
+	default:
+		v.S = append(v.S, val.S)
+	}
+}
+
+// Value returns the i'th element boxed as a Value.
+func (v *Vector) Value(i int) Value {
+	switch v.Type.Physical() {
+	case PhysInt:
+		return Value{Type: v.Type, I: v.I[i]}
+	case PhysFloat:
+		return Value{Type: v.Type, F: v.F[i]}
+	default:
+		return Value{Type: v.Type, S: v.S[i]}
+	}
+}
+
+// Slice returns a view of elements [lo, hi) sharing the backing array.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Type: v.Type}
+	switch v.Type.Physical() {
+	case PhysInt:
+		out.I = v.I[lo:hi]
+	case PhysFloat:
+		out.F = v.F[lo:hi]
+	default:
+		out.S = v.S[lo:hi]
+	}
+	return out
+}
+
+// ByteSize reports the in-memory (and on-wire) size of elements [lo, hi):
+// 8 bytes for fixed-width classes, uvarint length prefix + bytes for
+// strings. It matches EncodeBytes exactly.
+func (v *Vector) ByteSize(lo, hi int) int64 {
+	switch v.Type.Physical() {
+	case PhysInt, PhysFloat:
+		return int64(hi-lo) * 8
+	default:
+		var n int64
+		for _, s := range v.S[lo:hi] {
+			n += int64(uvarintLen(uint64(len(s)))) + int64(len(s))
+		}
+		return n
+	}
+}
+
+// Batch is a set of aligned column vectors: the unit the executor's
+// operators pass between each other.
+type Batch struct {
+	Schema *Schema
+	Vecs   []*Vector
+}
+
+// NewBatch returns an empty batch for the schema with the given row
+// capacity.
+func NewBatch(s *Schema, capacity int) *Batch {
+	b := &Batch{Schema: s, Vecs: make([]*Vector, len(s.Cols))}
+	for i, c := range s.Cols {
+		b.Vecs[i] = NewVector(c.Type, capacity)
+	}
+	return b
+}
+
+// Rows reports the row count (all vectors are aligned).
+func (b *Batch) Rows() int {
+	if len(b.Vecs) == 0 {
+		return 0
+	}
+	return b.Vecs[0].Len()
+}
+
+// AppendRow adds one tuple; len(vals) must equal the column count.
+func (b *Batch) AppendRow(vals ...Value) {
+	if len(vals) != len(b.Vecs) {
+		panic(fmt.Sprintf("table: AppendRow with %d values into %d columns", len(vals), len(b.Vecs)))
+	}
+	for i, v := range vals {
+		b.Vecs[i].Append(v)
+	}
+}
+
+// Row returns tuple i boxed as values.
+func (b *Batch) Row(i int) []Value {
+	out := make([]Value, len(b.Vecs))
+	for c, v := range b.Vecs {
+		out[c] = v.Value(i)
+	}
+	return out
+}
+
+// ByteSize reports the wire size of the whole batch.
+func (b *Batch) ByteSize() int64 {
+	var n int64
+	for _, v := range b.Vecs {
+		n += v.ByteSize(0, v.Len())
+	}
+	return n
+}
+
+// Table is an in-memory columnar relation: the data plane the simulated
+// storage charges I/O time against.
+type Table struct {
+	Schema *Schema
+	cols   []*Vector
+}
+
+// NewTable returns an empty table.
+func NewTable(s *Schema) *Table {
+	t := &Table{Schema: s, cols: make([]*Vector, len(s.Cols))}
+	for i, c := range s.Cols {
+		t.cols[i] = NewVector(c.Type, 0)
+	}
+	return t
+}
+
+// Rows reports the row count.
+func (t *Table) Rows() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return t.cols[0].Len()
+}
+
+// Column returns the i'th column vector (shared, not copied).
+func (t *Table) Column(i int) *Vector { return t.cols[i] }
+
+// AppendRow adds one tuple.
+func (t *Table) AppendRow(vals ...Value) {
+	if len(vals) != len(t.cols) {
+		panic(fmt.Sprintf("table: AppendRow with %d values into %d columns", len(vals), len(t.cols)))
+	}
+	for i, v := range vals {
+		t.cols[i].Append(v)
+	}
+}
+
+// Slice returns a batch viewing rows [lo, hi) without copying.
+func (t *Table) Slice(lo, hi int) *Batch {
+	b := &Batch{Schema: t.Schema, Vecs: make([]*Vector, len(t.cols))}
+	for i, c := range t.cols {
+		b.Vecs[i] = c.Slice(lo, hi)
+	}
+	return b
+}
+
+// ByteSize reports the wire size of the whole table.
+func (t *Table) ByteSize() int64 {
+	var n int64
+	for _, c := range t.cols {
+		n += c.ByteSize(0, c.Len())
+	}
+	return n
+}

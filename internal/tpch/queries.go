@@ -1,0 +1,76 @@
+package tpch
+
+// Simplified TPC-H queries expressed in the engine's SQL dialect. They
+// keep each benchmark query's *shape* — the tables touched, the join
+// pattern, the aggregation — within the dialect's single-block subset.
+
+// Q1 is the pricing summary report: a wide scan of lineitem with
+// grouped aggregation.
+const Q1 = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       AVG(l_quantity) AS avg_qty,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-08-01'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY 1, 2`
+
+// Q3 is the shipping priority query: customer x orders x lineitem join
+// with grouped revenue and a top-10.
+const Q3 = `
+SELECT o.o_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue, o.o_orderdate
+FROM customer c
+JOIN orders o ON c.c_custkey = o.o_custkey
+JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+WHERE c.c_mktsegment = 'BUILDING' AND o.o_orderdate < DATE '1995-03-15'
+GROUP BY o.o_orderkey, o.o_orderdate
+ORDER BY revenue DESC
+LIMIT 10`
+
+// Q5 (simplified) is a four-way join through supplier and nation with
+// grouped revenue per nation.
+const Q5 = `
+SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM supplier s
+JOIN lineitem l ON s.s_suppkey = l.l_suppkey
+JOIN orders o ON l.l_orderkey = o.o_orderkey
+JOIN nation n ON s.s_nationkey = n.n_nationkey
+WHERE o.o_orderdate >= DATE '1994-01-01' AND o.o_orderdate < DATE '1995-01-01'
+GROUP BY n.n_name
+ORDER BY revenue DESC`
+
+// Q6 is the forecasting revenue change query: a tight selective scan.
+const Q6 = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+// ScanQuery is the paper's Figure 2 query: scan ORDERS, apply a
+// predicate, and project five of its seven attributes.
+const ScanQuery = `
+SELECT o_orderkey, o_custkey, o_totalprice, o_orderdate, o_orderpriority
+FROM orders
+WHERE o_totalprice > 0`
+
+// ThroughputMix returns the query stream one TPC-H throughput-test client
+// submits: a rotation over the implemented queries, as the paper's
+// "mixture of TPC-H queries issued simultaneously from multiple clients".
+func ThroughputMix() []string {
+	return []string{Q1, Q6, Q3, Q6, Q1, Q5}
+}
+
+// Queries maps query names to SQL for tooling.
+func Queries() map[string]string {
+	return map[string]string{
+		"q1":   Q1,
+		"q3":   Q3,
+		"q5":   Q5,
+		"q6":   Q6,
+		"scan": ScanQuery,
+	}
+}

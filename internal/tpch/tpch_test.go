@@ -1,0 +1,173 @@
+package tpch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"energydb/internal/compress"
+	"energydb/internal/sql"
+	"energydb/internal/table"
+)
+
+func TestGenerateCardinalities(t *testing.T) {
+	db := Generate(0.001, 42)
+	if got := db.Tables["region"].Rows(); got != 5 {
+		t.Fatalf("regions = %d", got)
+	}
+	if got := db.Tables["nation"].Rows(); got != 25 {
+		t.Fatalf("nations = %d", got)
+	}
+	if got := db.Tables["orders"].Rows(); got != 1500 {
+		t.Fatalf("orders = %d, want 1500", got)
+	}
+	if got := db.Tables["customer"].Rows(); got != 150 {
+		t.Fatalf("customers = %d, want 150", got)
+	}
+	li := db.Tables["lineitem"].Rows()
+	// 1..7 lines per order, average 4.
+	if li < 1500 || li > 1500*7 {
+		t.Fatalf("lineitems = %d out of range", li)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	for name := range a.Tables {
+		ta, tb := a.Tables[name], b.Tables[name]
+		if ta.Rows() != tb.Rows() {
+			t.Fatalf("%s: row counts differ", name)
+		}
+	}
+	// Spot-check a column byte-for-byte.
+	la := a.Tables["lineitem"].Column(5)
+	lb := b.Tables["lineitem"].Column(5)
+	for i := range la.F {
+		if la.F[i] != lb.F[i] {
+			t.Fatalf("lineitem price differs at %d", i)
+		}
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	db := Generate(0.002, 3)
+	nOrders := int64(db.Tables["orders"].Rows())
+	nCust := int64(db.Tables["customer"].Rows())
+	ordCust := db.Tables["orders"].Column(1)
+	for _, ck := range ordCust.I {
+		if ck < 1 || ck > nCust {
+			t.Fatalf("o_custkey %d out of [1,%d]", ck, nCust)
+		}
+	}
+	liOrd := db.Tables["lineitem"].Column(0)
+	for _, ok := range liOrd.I {
+		if ok < 1 || ok > nOrders {
+			t.Fatalf("l_orderkey %d out of [1,%d]", ok, nOrders)
+		}
+	}
+	// Dates within the spec range.
+	for _, d := range db.Tables["orders"].Column(4).I {
+		if d < dateLo || d >= dateHi {
+			t.Fatalf("o_orderdate %d out of range", d)
+		}
+	}
+}
+
+func TestLineitemDatesFollowOrderDates(t *testing.T) {
+	db := Generate(0.001, 9)
+	orderDate := map[int64]int64{}
+	ord := db.Tables["orders"]
+	for i := 0; i < ord.Rows(); i++ {
+		orderDate[ord.Column(0).I[i]] = ord.Column(4).I[i]
+	}
+	li := db.Tables["lineitem"]
+	for i := 0; i < li.Rows(); i++ {
+		if li.Column(10).I[i] <= orderDate[li.Column(0).I[i]] {
+			t.Fatalf("l_shipdate not after o_orderdate at row %d", i)
+		}
+	}
+}
+
+func TestSchemasCoverAllTables(t *testing.T) {
+	db := Generate(0.001, 1)
+	schemas := Schemas()
+	if len(schemas) != 8 {
+		t.Fatalf("schemas = %d", len(schemas))
+	}
+	for name, s := range schemas {
+		tab, ok := db.Tables[name]
+		if !ok {
+			t.Fatalf("no data for %s", name)
+		}
+		if tab.Schema.Name != s.Name || len(tab.Schema.Cols) != len(s.Cols) {
+			t.Fatalf("%s schema mismatch", name)
+		}
+	}
+}
+
+func TestQueriesParseAndBind(t *testing.T) {
+	schemas := Schemas()
+	lookup := func(rel string) (*table.Schema, bool) {
+		s, ok := schemas[rel]
+		return s, ok
+	}
+	for name, q := range Queries() {
+		st, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if _, err := sql.Bind(st.Select, lookup); err != nil {
+			t.Fatalf("%s: bind: %v", name, err)
+		}
+	}
+	if len(ThroughputMix()) == 0 {
+		t.Fatal("empty throughput mix")
+	}
+}
+
+func TestDefaultCodecsCompress(t *testing.T) {
+	db := Generate(0.002, 5)
+	li := db.Tables["lineitem"]
+	codecs := DefaultCodecs(li.Schema)
+	if len(codecs) != len(li.Schema.Cols) {
+		t.Fatal("codec arity")
+	}
+	// Per-column sanity: the categorical and key columns must compress.
+	checks := map[string]float64{
+		"l_orderkey":   0.40, // delta on near-monotone keys
+		"l_returnflag": 0.55, // dict on 3 values (2 bytes in, 1 index byte out)
+		"l_shipdate":   0.40, // bitpack on a small domain
+	}
+	for col, maxRatio := range checks {
+		ci := li.Schema.MustColIndex(col)
+		v := li.Column(ci)
+		raw := v.EncodeBytes(nil, 0, v.Len())
+		if r := compress.Ratio(codecs[ci], raw); r > maxRatio {
+			t.Errorf("%s: ratio %v > %v under %s", col, r, maxRatio, codecs[ci].Name())
+		}
+	}
+	// Overall the default placement must beat raw comfortably.
+	var enc, rawTotal int64
+	for ci := range li.Schema.Cols {
+		v := li.Column(ci)
+		raw := v.EncodeBytes(nil, 0, v.Len())
+		rawTotal += int64(len(raw))
+		enc += int64(len(codecs[ci].Encode(nil, raw)))
+	}
+	if ratio := float64(enc) / float64(rawTotal); ratio > 0.75 {
+		t.Fatalf("lineitem overall ratio = %v, want < 0.75", ratio)
+	}
+}
+
+// Property: any scale factor yields internally consistent cardinalities.
+func TestScaleProperty(t *testing.T) {
+	f := func(s uint8) bool {
+		sf := float64(s%20+1) / 10000 // 0.0001 .. 0.002
+		db := Generate(sf, 11)
+		return db.Tables["orders"].Rows() == scaled(ordersPerSF, sf) &&
+			db.Tables["lineitem"].Rows() >= db.Tables["orders"].Rows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

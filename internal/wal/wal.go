@@ -1,0 +1,149 @@
+// Package wal implements a write-ahead log with group commit.
+//
+// §5.2 of the paper singles logging out: "it may make sense to increase
+// the batching factor (and increase response time) to avoid frequent
+// commits on stable storage". The Log's batching factor and timeout are
+// exactly that knob: commits are held until BatchSize records are pending
+// (or Timeout elapses) and flushed with a single sequential device write,
+// trading commit latency for fewer, larger log I/Os — and therefore fewer
+// joules on the log device.
+package wal
+
+import (
+	"fmt"
+
+	"energydb/internal/sim"
+	"energydb/internal/storage"
+)
+
+// Stats counts log activity.
+type Stats struct {
+	Commits      int64
+	Flushes      int64
+	BytesWritten int64
+	TotalLatency float64 // sum of per-commit (durable - submit) times
+}
+
+// MeanLatency reports average commit latency.
+func (s Stats) MeanLatency() float64 {
+	if s.Commits == 0 {
+		return 0
+	}
+	return s.TotalLatency / float64(s.Commits)
+}
+
+// Syncer is a device supporting synchronous write barriers; hw.Disk and
+// hw.SSD implement it.
+type Syncer interface {
+	Sync(p *sim.Proc)
+}
+
+// Log is a group-commit write-ahead log on a dedicated device.
+type Log struct {
+	eng *sim.Engine
+	dev storage.BlockDevice
+
+	// BatchSize is the group-commit batching factor: a flush is forced
+	// when this many commits are pending. 1 disables batching.
+	BatchSize int
+	// Timeout bounds how long the first pending commit waits before the
+	// batch is flushed regardless of size. 0 means only size triggers.
+	Timeout float64
+
+	lsn          int64
+	offset       int64
+	pendingBytes int64
+	pendingArr   []float64 // arrival times of pending commits
+	batchID      int64     // id of the currently filling batch
+	flushedBatch int64     // highest durable batch id
+	flushing     bool
+	cond         *sim.Cond
+	stats        Stats
+}
+
+// NewLog creates a log writing to dev.
+func NewLog(eng *sim.Engine, dev storage.BlockDevice, batchSize int, timeout float64) *Log {
+	if batchSize < 1 {
+		panic(fmt.Sprintf("wal: batch size %d", batchSize))
+	}
+	return &Log{
+		eng: eng, dev: dev,
+		BatchSize: batchSize, Timeout: timeout,
+		batchID: 1,
+		cond:    sim.NewCond(eng, "wal"),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// NextLSN reports the next log sequence number to be assigned.
+func (l *Log) NextLSN() int64 { return l.lsn + 1 }
+
+// Commit appends a record of the given size and blocks the calling
+// process until the record is durable (its batch has been flushed).
+func (l *Log) Commit(p *sim.Proc, recBytes int64) int64 {
+	if recBytes <= 0 {
+		panic(fmt.Sprintf("wal: commit of %d bytes", recBytes))
+	}
+	l.lsn++
+	lsn := l.lsn
+	my := l.batchID
+	l.pendingBytes += recBytes
+	l.pendingArr = append(l.pendingArr, p.Now())
+
+	switch {
+	case len(l.pendingArr) >= l.BatchSize:
+		// This process completes the batch and performs the write itself.
+		l.flush(p)
+	case len(l.pendingArr) == 1 && l.Timeout > 0:
+		// First record of the batch arms the timeout flush.
+		batch := my
+		l.eng.After(l.Timeout, "wal-timeout", func() {
+			if l.batchID == batch && len(l.pendingArr) > 0 && !l.flushing {
+				l.eng.Go("wal-flush", func(fp *sim.Proc) { l.flush(fp) })
+			}
+		})
+	}
+	for l.flushedBatch < my {
+		l.cond.Wait(p)
+	}
+	return lsn
+}
+
+// flush writes the pending batch with one sequential I/O and wakes its
+// waiters. New commits arriving during the write join the next batch.
+func (l *Log) flush(p *sim.Proc) {
+	if len(l.pendingArr) == 0 || l.flushing {
+		return
+	}
+	l.flushing = true
+	batch := l.batchID
+	bytes := l.pendingBytes
+	arrivals := l.pendingArr
+	l.batchID++
+	l.pendingBytes = 0
+	l.pendingArr = nil
+
+	l.dev.Write(p, l.offset, bytes)
+	l.offset += bytes
+	if s, ok := l.dev.(Syncer); ok {
+		s.Sync(p) // the flush is synchronous: pay the write barrier
+	}
+
+	now := p.Now()
+	for _, a := range arrivals {
+		l.stats.TotalLatency += now - a
+	}
+	l.stats.Commits += int64(len(arrivals))
+	l.stats.Flushes++
+	l.stats.BytesWritten += bytes
+	l.flushedBatch = batch
+	l.flushing = false
+	l.cond.Broadcast()
+
+	// A batch may have filled while we were writing.
+	if len(l.pendingArr) >= l.BatchSize {
+		l.flush(p)
+	}
+}

@@ -1,0 +1,190 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"energydb/internal/energy"
+	"energydb/internal/hw"
+	"energydb/internal/sim"
+)
+
+func logRig() (*sim.Engine, *energy.Meter, *hw.Disk) {
+	eng := sim.NewEngine()
+	m := energy.NewMeter()
+	d := hw.NewDisk(eng, m, "logdisk", hw.Cheetah15K())
+	return eng, m, d
+}
+
+func TestSingleCommitDurable(t *testing.T) {
+	eng, _, d := logRig()
+	l := NewLog(eng, d, 1, 0)
+	var lsn int64
+	eng.Go("txn", func(p *sim.Proc) {
+		lsn = l.Commit(p, 512)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if lsn != 1 || st.Commits != 1 || st.Flushes != 1 || st.BytesWritten != 512 {
+		t.Fatalf("stats = %+v lsn=%d", st, lsn)
+	}
+}
+
+func TestGroupCommitBatchesFlushes(t *testing.T) {
+	eng, _, d := logRig()
+	l := NewLog(eng, d, 4, 0)
+	const n = 16
+	for i := 0; i < n; i++ {
+		eng.Go(fmt.Sprintf("txn%d", i), func(p *sim.Proc) {
+			l.Commit(p, 256)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Commits != n {
+		t.Fatalf("commits = %d", st.Commits)
+	}
+	// BatchSize is a trigger, not a cap: commits arriving during a flush
+	// coalesce into one larger group, so flushes <= n/4.
+	if st.Flushes > n/4 || st.Flushes < 1 {
+		t.Fatalf("flushes = %d, want in [1, %d]", st.Flushes, n/4)
+	}
+}
+
+func TestTimeoutFlushesPartialBatch(t *testing.T) {
+	eng, _, d := logRig()
+	l := NewLog(eng, d, 100, 0.01)
+	eng.Go("txn", func(p *sim.Proc) {
+		l.Commit(p, 128) // alone: must be released by the timeout
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Commits != 1 || st.Flushes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanLatency() < 0.01 {
+		t.Fatalf("latency %v below the timeout", st.MeanLatency())
+	}
+}
+
+func TestBatchingTradesLatencyForEnergy(t *testing.T) {
+	// The §5.2 knob: larger batching factor -> fewer forced log writes ->
+	// less disk energy, but higher commit latency.
+	run := func(batch int) (joules, latency float64) {
+		eng, m, d := logRig()
+		l := NewLog(eng, d, batch, 0.05)
+		rng := rand.New(rand.NewSource(1))
+		const n = 200
+		at := 0.0
+		for i := 0; i < n; i++ {
+			at += rng.Float64() * 0.002 // ~1ms inter-arrival
+			start := at
+			eng.Go(fmt.Sprintf("txn%d", i), func(p *sim.Proc) {
+				p.Sleep(start)
+				l.Commit(p, 300)
+			})
+		}
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.ComponentEnergy("logdisk", energy.Seconds(eng.Now()))) / n,
+			l.Stats().MeanLatency()
+	}
+	j1, lat1 := run(1)
+	j16, lat16 := run(16)
+	if j16 >= j1 {
+		t.Fatalf("batching should cut energy/commit: batch16=%v batch1=%v", j16, j1)
+	}
+	if lat16 <= lat1 {
+		t.Fatalf("batching should raise latency: batch16=%v batch1=%v", lat16, lat1)
+	}
+}
+
+func TestCommitDuringFlushJoinsNextBatch(t *testing.T) {
+	eng, _, d := logRig()
+	l := NewLog(eng, d, 2, 0)
+	for i := 0; i < 5; i++ {
+		i := i
+		eng.Go(fmt.Sprintf("txn%d", i), func(p *sim.Proc) {
+			p.Sleep(float64(i) * 0.0001) // arrivals staggered across flushes
+			l.Commit(p, 100)
+		})
+	}
+	// One leftover commit (5 = 2+2+1) would hang without a timeout.
+	l.Timeout = 0.05
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Stats().Commits != 5 {
+		t.Fatalf("commits = %d", l.Stats().Commits)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	eng, _, d := logRig()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("batch", func() { NewLog(eng, d, 0, 0) })
+	l := NewLog(eng, d, 1, 0)
+	mustPanic("bytes", func() {
+		eng.Go("txn", func(p *sim.Proc) { l.Commit(p, 0) })
+		_ = eng.Run()
+	})
+}
+
+// Property: all commits become durable, LSNs are dense and increasing, and
+// bytes written equals bytes committed, for any batch size and arrival mix.
+func TestLogInvariants(t *testing.T) {
+	f := func(seed int64, batchLog uint8) bool {
+		batch := 1 << (batchLog % 5) // 1..16
+		eng, _, d := logRig()
+		l := NewLog(eng, d, batch, 0.02)
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 1
+		var total int64
+		lsns := make([]int64, n)
+		for i := 0; i < n; i++ {
+			i := i
+			sz := int64(rng.Intn(900) + 10)
+			total += sz
+			delay := rng.Float64() * 0.01
+			eng.Go(fmt.Sprintf("txn%d", i), func(p *sim.Proc) {
+				p.Sleep(delay)
+				lsns[i] = l.Commit(p, sz)
+			})
+		}
+		if err := eng.Run(); err != nil {
+			return false
+		}
+		st := l.Stats()
+		if st.Commits != int64(n) || st.BytesWritten != total {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, lsn := range lsns {
+			if lsn < 1 || lsn > int64(n) || seen[lsn] {
+				return false
+			}
+			seen[lsn] = true
+		}
+		return st.Flushes <= st.Commits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
