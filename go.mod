@@ -1,0 +1,3 @@
+module energydb
+
+go 1.24

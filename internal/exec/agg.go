@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"encoding/binary"
+	"math"
 	"sort"
 
 	"energydb/internal/table"
@@ -32,27 +34,55 @@ type AggSpec struct {
 
 // HashAgg groups rows by the GroupBy columns and computes aggregates. The
 // output schema is the group columns followed by one column per spec.
-// Output order is deterministic (sorted by group key) so results are
-// reproducible.
+// Output order is deterministic (sorted by group key values) so results
+// are reproducible.
+//
+// Group keys are a collision-free binary encoding of the raw column
+// values — fixed 8 bytes for int- and float-class columns, length-prefixed
+// bytes for strings — built into a reused buffer, so the per-row path
+// neither formats nor allocates. Aggregate state is columnar (one slice
+// per aggregate, indexed by group id) and updated from the raw typed
+// slices without boxing.
 type HashAgg struct {
 	In      Operator
 	GroupBy []int
 	Aggs    []AggSpec
 
-	schema *table.Schema
-	groups map[string]*aggState
-	keys   map[string][]table.Value
-	order  []string
-	next   int
+	schema  *table.Schema
+	groups  map[string]int32 // encoded key -> group id
+	keys    [][]table.Value  // per group: boxed group-by values (output only)
+	counts  []int64          // per group: row count
+	aggs    []aggCol         // per spec: columnar state
+	order   []int32          // group ids in output order
+	next    int
+	keyBuf  []byte   // reused per-row key encoding buffer
+	gids    []int32  // reused per-batch group-id vector
+	keyCols []keyCol // reused per-batch resolved group columns
 }
 
-type aggState struct {
-	count int64
-	sumI  []int64
-	sumF  []float64
-	minV  []table.Value
-	maxV  []table.Value
-	seen  []bool
+// keyCol is a group column with its physical class and raw slices
+// resolved once per batch, so the per-row key encoder does not re-dispatch
+// on the column type.
+type keyCol struct {
+	phys table.Phys
+	i    []int64
+	f    []float64
+	s    []string
+}
+
+// aggCol is the columnar state of one aggregate spec, indexed by group id.
+// Only the slices matching the input column's physical class are used.
+type aggCol struct {
+	phys table.Phys
+	sumI []int64
+	sumF []float64
+	minI []int64
+	maxI []int64
+	minF []float64
+	maxF []float64
+	minS []string
+	maxS []string
+	seen []bool
 }
 
 // NewHashAgg builds a grouping aggregation.
@@ -93,10 +123,18 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 	if err := h.In.Open(ctx); err != nil {
 		return err
 	}
-	h.groups = make(map[string]*aggState)
-	h.keys = make(map[string][]table.Value)
+	h.groups = make(map[string]int32)
+	h.keys = nil
+	h.counts = nil
 	h.order = nil
 	h.next = 0
+	ins := h.In.Schema()
+	h.aggs = make([]aggCol, len(h.Aggs))
+	for ai, a := range h.Aggs {
+		if a.Func != Count {
+			h.aggs[ai].phys = ins.Cols[a.Col].Type.Physical()
+		}
+	}
 	for {
 		b, err := h.In.Next(ctx)
 		if err != nil {
@@ -106,57 +144,160 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 			break
 		}
 		ctx.ChargeRows(b.Rows()*max(1, len(h.Aggs)), ctx.Costs.AggCyclesPerRow)
-		for r := 0; r < b.Rows(); r++ {
-			key := h.groupKey(b, r)
-			st, ok := h.groups[key]
-			if !ok {
-				st = &aggState{
-					sumI: make([]int64, len(h.Aggs)),
-					sumF: make([]float64, len(h.Aggs)),
-					minV: make([]table.Value, len(h.Aggs)),
-					maxV: make([]table.Value, len(h.Aggs)),
-					seen: make([]bool, len(h.Aggs)),
-				}
-				h.groups[key] = st
-				kv := make([]table.Value, len(h.GroupBy))
-				for i, g := range h.GroupBy {
-					kv[i] = b.Vecs[g].Value(r)
-				}
-				h.keys[key] = kv
-				h.order = append(h.order, key)
+		h.assignGroups(b)
+		for _, gid := range h.gids {
+			h.counts[gid]++
+		}
+		for ai, a := range h.Aggs {
+			if a.Func == Count {
+				continue
 			}
-			st.count++
-			for ai, a := range h.Aggs {
-				if a.Func == Count {
-					continue
-				}
-				v := b.Vecs[a.Col].Value(r)
-				if v.Type.Physical() == table.PhysFloat {
-					st.sumF[ai] += v.F
-				} else if v.Type.Physical() == table.PhysInt {
-					st.sumI[ai] += v.I
-					st.sumF[ai] += float64(v.I)
-				}
-				if !st.seen[ai] || v.Compare(st.minV[ai]) < 0 {
-					st.minV[ai] = v
-				}
-				if !st.seen[ai] || v.Compare(st.maxV[ai]) > 0 {
-					st.maxV[ai] = v
-				}
-				st.seen[ai] = true
-			}
+			h.aggs[ai].update(b.Vecs[a.Col], h.gids)
 		}
 	}
-	sort.Strings(h.order)
+	h.order = make([]int32, len(h.keys))
+	for i := range h.order {
+		h.order[i] = int32(i)
+	}
+	sort.Slice(h.order, func(x, y int) bool {
+		a, b := h.keys[h.order[x]], h.keys[h.order[y]]
+		for i := range a {
+			if c := a[i].Compare(b[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
 	return h.In.Close(ctx)
 }
 
-func (h *HashAgg) groupKey(b *table.Batch, r int) string {
-	key := ""
-	for _, g := range h.GroupBy {
-		key += b.Vecs[g].Value(r).String() + "\x00"
+// assignGroups fills h.gids with the group id of every row in b, creating
+// groups on first sight. The encoded key is injective: 8 fixed bytes per
+// int/float column, uvarint length prefix + bytes per string column — two
+// distinct key tuples can never encode to the same byte string (the old
+// Value.String()+"\x00" scheme collided on strings containing NUL).
+func (h *HashAgg) assignGroups(b *table.Batch) {
+	n := b.Rows()
+	if cap(h.gids) < n {
+		h.gids = make([]int32, n)
 	}
-	return key
+	h.gids = h.gids[:n]
+	// Hoist the per-column dispatch out of the row loop: resolve each
+	// group column's physical class and raw slice once per batch.
+	if h.keyCols == nil {
+		h.keyCols = make([]keyCol, len(h.GroupBy))
+	}
+	cols := h.keyCols
+	for ci, g := range h.GroupBy {
+		v := b.Vecs[g]
+		cols[ci] = keyCol{phys: v.Type.Physical(), i: v.I, f: v.F, s: v.S}
+	}
+	for r := 0; r < n; r++ {
+		buf := h.keyBuf[:0]
+		for _, c := range cols {
+			switch c.phys {
+			case table.PhysInt:
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(c.i[r]))
+			case table.PhysFloat:
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.f[r]))
+			default:
+				s := c.s[r]
+				buf = binary.AppendUvarint(buf, uint64(len(s)))
+				buf = append(buf, s...)
+			}
+		}
+		h.keyBuf = buf
+		gid, ok := h.groups[string(buf)] // compiler avoids the alloc on lookup
+		if !ok {
+			gid = h.newGroup(b, r, string(buf))
+		}
+		h.gids[r] = gid
+	}
+}
+
+func (h *HashAgg) newGroup(b *table.Batch, r int, key string) int32 {
+	gid := int32(len(h.keys))
+	h.groups[key] = gid
+	kv := make([]table.Value, len(h.GroupBy))
+	for i, g := range h.GroupBy {
+		kv[i] = b.Vecs[g].Value(r)
+	}
+	h.keys = append(h.keys, kv)
+	h.counts = append(h.counts, 0)
+	for ai := range h.aggs {
+		if h.Aggs[ai].Func != Count {
+			h.aggs[ai].grow()
+		}
+	}
+	return gid
+}
+
+func (c *aggCol) grow() {
+	switch c.phys {
+	case table.PhysInt:
+		c.sumI = append(c.sumI, 0)
+		c.sumF = append(c.sumF, 0)
+		c.minI = append(c.minI, 0)
+		c.maxI = append(c.maxI, 0)
+	case table.PhysFloat:
+		c.sumF = append(c.sumF, 0)
+		c.minF = append(c.minF, 0)
+		c.maxF = append(c.maxF, 0)
+	default:
+		// Sums stay allocated (and zero) so Sum/Avg over a string column
+		// yields the zero value instead of panicking.
+		c.sumI = append(c.sumI, 0)
+		c.sumF = append(c.sumF, 0)
+		c.minS = append(c.minS, "")
+		c.maxS = append(c.maxS, "")
+	}
+	c.seen = append(c.seen, false)
+}
+
+// update folds one input column into the per-group state, one typed loop
+// per physical class with no Value boxing.
+func (c *aggCol) update(v *table.Vector, gids []int32) {
+	switch c.phys {
+	case table.PhysInt:
+		for r, gid := range gids {
+			x := v.I[r]
+			c.sumI[gid] += x
+			c.sumF[gid] += float64(x)
+			if !c.seen[gid] {
+				c.minI[gid], c.maxI[gid] = x, x
+				c.seen[gid] = true
+			} else if x < c.minI[gid] {
+				c.minI[gid] = x
+			} else if x > c.maxI[gid] {
+				c.maxI[gid] = x
+			}
+		}
+	case table.PhysFloat:
+		for r, gid := range gids {
+			x := v.F[r]
+			c.sumF[gid] += x
+			if !c.seen[gid] {
+				c.minF[gid], c.maxF[gid] = x, x
+				c.seen[gid] = true
+			} else if x < c.minF[gid] {
+				c.minF[gid] = x
+			} else if x > c.maxF[gid] {
+				c.maxF[gid] = x
+			}
+		}
+	default:
+		for r, gid := range gids {
+			x := v.S[r]
+			if !c.seen[gid] {
+				c.minS[gid], c.maxS[gid] = x, x
+				c.seen[gid] = true
+			} else if x < c.minS[gid] {
+				c.minS[gid] = x
+			} else if x > c.maxS[gid] {
+				c.maxS[gid] = x
+			}
+		}
+	}
 }
 
 // Next implements Operator.
@@ -166,14 +307,7 @@ func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 		if h.next == 0 && len(h.GroupBy) == 0 && len(h.order) == 0 {
 			h.next = 1
 			b := table.NewBatch(h.schema, 1)
-			empty := &aggState{
-				sumI: make([]int64, len(h.Aggs)),
-				sumF: make([]float64, len(h.Aggs)),
-				minV: make([]table.Value, len(h.Aggs)),
-				maxV: make([]table.Value, len(h.Aggs)),
-				seen: make([]bool, len(h.Aggs)),
-			}
-			b.AppendRow(h.resultRow(nil, empty)...)
+			h.appendEmptyRow(b)
 			return b, nil
 		}
 		return nil, nil
@@ -183,52 +317,93 @@ func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 		hi = len(h.order)
 	}
 	b := table.NewBatch(h.schema, hi-h.next)
-	for _, key := range h.order[h.next:hi] {
-		b.AppendRow(h.resultRow(h.keys[key], h.groups[key])...)
+	for _, gid := range h.order[h.next:hi] {
+		h.appendRow(b, gid)
 	}
 	h.next = hi
 	return b, nil
 }
 
-func (h *HashAgg) resultRow(groupVals []table.Value, st *aggState) []table.Value {
-	row := append([]table.Value(nil), groupVals...)
+// appendRow boxes group gid into one output row (per group, not per input
+// row, so boxing here is off the hot path).
+func (h *HashAgg) appendRow(b *table.Batch, gid int32) {
+	for i, v := range h.keys[gid] {
+		b.Vecs[i].Append(v)
+	}
 	for ai, a := range h.Aggs {
 		colType := h.schema.Cols[len(h.GroupBy)+ai].Type
+		c := &h.aggs[ai]
+		out := b.Vecs[len(h.GroupBy)+ai]
 		switch a.Func {
 		case Count:
-			row = append(row, table.IntVal(st.count))
+			out.Append(table.IntVal(h.counts[gid]))
 		case Sum:
 			if colType.Physical() == table.PhysFloat {
-				row = append(row, table.FloatVal(st.sumF[ai]))
+				out.Append(table.FloatVal(c.sumF[gid]))
 			} else {
-				row = append(row, table.Value{Type: colType, I: st.sumI[ai]})
+				out.Append(table.Value{Type: colType, I: c.sumI[gid]})
 			}
 		case Avg:
-			if st.count == 0 {
-				row = append(row, table.FloatVal(0))
+			if h.counts[gid] == 0 {
+				out.Append(table.FloatVal(0))
 			} else {
-				row = append(row, table.FloatVal(st.sumF[ai]/float64(st.count)))
+				out.Append(table.FloatVal(c.sumF[gid] / float64(h.counts[gid])))
 			}
-		case Min:
-			row = append(row, zeroIfUnseen(st.minV[ai], st.seen[ai], colType))
-		case Max:
-			row = append(row, zeroIfUnseen(st.maxV[ai], st.seen[ai], colType))
+		case Min, Max:
+			out.Append(c.extreme(a.Func, gid, colType))
 		}
 	}
-	return row
 }
 
-func zeroIfUnseen(v table.Value, seen bool, t table.Type) table.Value {
-	if !seen {
+// extreme boxes the min or max of group gid as a Value of type t, zero if
+// the group saw no rows.
+func (c *aggCol) extreme(f AggFunc, gid int32, t table.Type) table.Value {
+	if !c.seen[gid] {
 		return table.Value{Type: t}
 	}
-	return v
+	switch c.phys {
+	case table.PhysInt:
+		if f == Min {
+			return table.Value{Type: t, I: c.minI[gid]}
+		}
+		return table.Value{Type: t, I: c.maxI[gid]}
+	case table.PhysFloat:
+		if f == Min {
+			return table.Value{Type: t, F: c.minF[gid]}
+		}
+		return table.Value{Type: t, F: c.maxF[gid]}
+	default:
+		if f == Min {
+			return table.Value{Type: t, S: c.minS[gid]}
+		}
+		return table.Value{Type: t, S: c.maxS[gid]}
+	}
+}
+
+// appendEmptyRow emits the zero-group global aggregate (count 0, sum 0,
+// zero-valued min/max) for aggregation over an empty input.
+func (h *HashAgg) appendEmptyRow(b *table.Batch) {
+	for ai, a := range h.Aggs {
+		colType := h.schema.Cols[ai].Type
+		switch a.Func {
+		case Count:
+			b.Vecs[ai].Append(table.IntVal(0))
+		case Avg:
+			b.Vecs[ai].Append(table.FloatVal(0))
+		default:
+			b.Vecs[ai].Append(table.Value{Type: colType})
+		}
+	}
 }
 
 // Close implements Operator.
 func (h *HashAgg) Close(ctx *Ctx) error {
 	h.groups = nil
 	h.keys = nil
+	h.counts = nil
+	h.aggs = nil
+	h.gids = nil
+	h.keyCols = nil
 	return nil
 }
 

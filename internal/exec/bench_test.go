@@ -1,0 +1,169 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"energydb/internal/energy"
+	"energydb/internal/hw"
+	"energydb/internal/sim"
+	"energydb/internal/table"
+)
+
+// benchCtx returns a Ctx with all simulated-hardware cost constants zeroed,
+// so benchmarks measure the real CPU work of the executor kernels rather
+// than discrete-event bookkeeping: with zero cycles charged, hw.CPU.Use
+// returns before touching the event queue and nothing ever parks.
+func benchCtx() *Ctx {
+	eng := sim.NewEngine()
+	cpu := hw.NewCPU(eng, energy.NewMeter(), "cpu", hw.ScanCPU2008())
+	return &Ctx{CPU: cpu, Costs: CostParams{}, VectorSize: 4096}
+}
+
+// benchInts builds an n-row table of two int64 columns: a sequential key
+// and a uniform value in [0, 1000).
+func benchInts(n int) *table.Table {
+	s := table.NewSchema("ints",
+		table.Col("k", table.Int64),
+		table.Col("v", table.Int64),
+	)
+	rng := rand.New(rand.NewSource(42))
+	t := table.NewTable(s)
+	for i := 0; i < n; i++ {
+		t.AppendRow(table.IntVal(int64(i)), table.IntVal(rng.Int63n(1000)))
+	}
+	return t
+}
+
+// benchStrings builds an n-row table of a string column drawn from nGroups
+// distinct values plus an int64 payload.
+func benchStrings(n, nGroups int) *table.Table {
+	s := table.NewSchema("strs",
+		table.Col("g", table.String),
+		table.Col("v", table.Int64),
+	)
+	rng := rand.New(rand.NewSource(43))
+	groups := make([]string, nGroups)
+	for i := range groups {
+		groups[i] = fmt.Sprintf("group-%06d", i)
+	}
+	t := table.NewTable(s)
+	for i := 0; i < n; i++ {
+		t.AppendRow(table.StrVal(groups[rng.Intn(nGroups)]), table.IntVal(rng.Int63n(1000)))
+	}
+	return t
+}
+
+const benchRows = 1 << 16
+
+// BenchmarkFilterInt drains a ~50% selective int64 comparison filter.
+func BenchmarkFilterInt(b *testing.B) {
+	tab := benchInts(benchRows)
+	ctx := benchCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := RowCount(ctx, &Filter{
+			In:   &Values{Tab: tab},
+			Pred: &ColConst{Col: 1, Op: Lt, Val: table.IntVal(500)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no rows passed")
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// BenchmarkFilterString drains a selective string comparison filter.
+func BenchmarkFilterString(b *testing.B) {
+	tab := benchStrings(benchRows, 1000)
+	ctx := benchCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := RowCount(ctx, &Filter{
+			In:   &Values{Tab: tab},
+			Pred: &ColConst{Col: 0, Op: Lt, Val: table.StrVal("group-000500")},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no rows passed")
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// BenchmarkHashAggGroups aggregates 64k rows into 1000 string groups
+// (count, sum, min, max over the int payload).
+func BenchmarkHashAggGroups(b *testing.B) {
+	tab := benchStrings(benchRows, 1000)
+	ctx := benchCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := NewHashAgg(&Values{Tab: tab}, []int{0}, []AggSpec{
+			{Func: Count, As: "n"},
+			{Func: Sum, Col: 1, As: "s"},
+			{Func: Min, Col: 1, As: "lo"},
+			{Func: Max, Col: 1, As: "hi"},
+		})
+		n, err := RowCount(ctx, agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("groups = %d", n)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// BenchmarkHashJoinProbe joins a 64k-row probe side against a 256-row
+// build side on an int64 key (~25% of probe rows match).
+func BenchmarkHashJoinProbe(b *testing.B) {
+	probe := benchInts(benchRows) // v in [0, 1000)
+	bs := table.NewSchema("dim", table.Col("d_key", table.Int64), table.Col("d_name", table.String))
+	build := table.NewTable(bs)
+	for i := 0; i < 256; i++ {
+		build.AppendRow(table.IntVal(int64(i)), table.StrVal(fmt.Sprintf("dim-%04d", i)))
+	}
+	ctx := benchCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewHashJoin(&Values{Tab: build}, &Values{Tab: probe}, 0, 1)
+		n, err := RowCount(ctx, j)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// BenchmarkSortInt sorts 64k rows by the random int64 payload column.
+func BenchmarkSortInt(b *testing.B) {
+	tab := benchInts(benchRows)
+	ctx := benchCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &Sort{In: &Values{Tab: tab}, Keys: []SortKey{{Col: 1}, {Col: 0}}}
+		n, err := RowCount(ctx, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != benchRows {
+			b.Fatalf("rows = %d", n)
+		}
+	}
+	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}

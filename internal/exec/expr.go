@@ -38,29 +38,104 @@ func (o CmpOp) String() string {
 	}
 }
 
-func cmpMatches(op CmpOp, c int) bool {
-	switch op {
-	case Eq:
-		return c == 0
-	case Ne:
-		return c != 0
-	case Lt:
-		return c < 0
-	case Le:
-		return c <= 0
-	case Gt:
-		return c > 0
-	default:
-		return c >= 0
-	}
+// Pred is a vectorised predicate. Eval filters the selection vector sel —
+// ascending row indexes into b — in place and returns the surviving
+// prefix (aliasing sel's backing array). Leaves charge CPU for every
+// selected row they inspect, so later conjuncts after a selective one
+// both run and cost less.
+type Pred interface {
+	Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32
+	String() string
 }
 
-// Pred is a vectorised predicate: Eval ANDs its result into sel (callers
-// pass an all-true slice of b.Rows() length). Leaves charge CPU for every
-// row they inspect.
-type Pred interface {
-	Eval(ctx *Ctx, b *table.Batch, sel []bool)
-	String() string
+// filterConst is the typed selection kernel for column-vs-constant
+// comparisons: the operator and constant are hoisted out of the loop, and
+// survivors are compacted into the front of sel.
+func filterConst[T int64 | float64 | string](op CmpOp, col []T, c T, sel []int32) []int32 {
+	out := sel[:0]
+	switch op {
+	case Eq:
+		for _, i := range sel {
+			if col[i] == c {
+				out = append(out, i)
+			}
+		}
+	case Ne:
+		for _, i := range sel {
+			if col[i] != c {
+				out = append(out, i)
+			}
+		}
+	case Lt:
+		for _, i := range sel {
+			if col[i] < c {
+				out = append(out, i)
+			}
+		}
+	case Le:
+		for _, i := range sel {
+			if col[i] <= c {
+				out = append(out, i)
+			}
+		}
+	case Gt:
+		for _, i := range sel {
+			if col[i] > c {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if col[i] >= c {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// filterColCol is the typed kernel for column-vs-column comparisons.
+func filterColCol[T int64 | float64 | string](op CmpOp, l, r []T, sel []int32) []int32 {
+	out := sel[:0]
+	switch op {
+	case Eq:
+		for _, i := range sel {
+			if l[i] == r[i] {
+				out = append(out, i)
+			}
+		}
+	case Ne:
+		for _, i := range sel {
+			if l[i] != r[i] {
+				out = append(out, i)
+			}
+		}
+	case Lt:
+		for _, i := range sel {
+			if l[i] < r[i] {
+				out = append(out, i)
+			}
+		}
+	case Le:
+		for _, i := range sel {
+			if l[i] <= r[i] {
+				out = append(out, i)
+			}
+		}
+	case Gt:
+		for _, i := range sel {
+			if l[i] > r[i] {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if l[i] >= r[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
 }
 
 // ColConst compares a column against a constant.
@@ -71,31 +146,16 @@ type ColConst struct {
 }
 
 // Eval implements Pred.
-func (p *ColConst) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
-	ctx.ChargeRows(b.Rows(), ctx.Costs.FilterCyclesPerRow)
+func (p *ColConst) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
+	ctx.ChargeRows(len(sel), ctx.Costs.FilterCyclesPerRow)
 	v := b.Vecs[p.Col]
 	switch v.Type.Physical() {
 	case table.PhysInt:
-		c := p.Val.I
-		for i, x := range v.I {
-			if sel[i] && !cmpMatches(p.Op, cmp64(x, c)) {
-				sel[i] = false
-			}
-		}
+		return filterConst(p.Op, v.I, p.Val.I, sel)
 	case table.PhysFloat:
-		c := p.Val.F
-		for i, x := range v.F {
-			if sel[i] && !cmpMatches(p.Op, cmpF(x, c)) {
-				sel[i] = false
-			}
-		}
+		return filterConst(p.Op, v.F, p.Val.F, sel)
 	default:
-		c := p.Val.S
-		for i, x := range v.S {
-			if sel[i] && !cmpMatches(p.Op, cmpS(x, c)) {
-				sel[i] = false
-			}
-		}
+		return filterConst(p.Op, v.S, p.Val.S, sel)
 	}
 }
 
@@ -110,13 +170,16 @@ type ColCol struct {
 }
 
 // Eval implements Pred.
-func (p *ColCol) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
-	ctx.ChargeRows(b.Rows(), ctx.Costs.FilterCyclesPerRow)
+func (p *ColCol) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
+	ctx.ChargeRows(len(sel), ctx.Costs.FilterCyclesPerRow)
 	l, r := b.Vecs[p.Left], b.Vecs[p.Right]
-	for i := range sel {
-		if sel[i] && !cmpMatches(p.Op, l.Value(i).Compare(r.Value(i))) {
-			sel[i] = false
-		}
+	switch l.Type.Physical() {
+	case table.PhysInt:
+		return filterColCol(p.Op, l.I, r.I, sel)
+	case table.PhysFloat:
+		return filterColCol(p.Op, l.F, r.F, sel)
+	default:
+		return filterColCol(p.Op, l.S, r.S, sel)
 	}
 }
 
@@ -129,10 +192,11 @@ func (p *ColCol) String() string {
 type And struct{ Preds []Pred }
 
 // Eval implements Pred.
-func (p *And) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+func (p *And) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
 	for _, q := range p.Preds {
-		q.Eval(ctx, b, sel)
+		sel = q.Eval(ctx, b, sel)
 	}
+	return sel
 }
 
 func (p *And) String() string {
@@ -147,25 +211,42 @@ func (p *And) String() string {
 }
 
 // Or disjoins predicates.
-type Or struct{ Preds []Pred }
+type Or struct {
+	Preds []Pred
+
+	keep []bool
+	tmp  []int32
+}
 
 // Eval implements Pred.
-func (p *Or) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
+func (p *Or) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
+	if len(sel) == 0 {
+		return sel
+	}
 	n := b.Rows()
-	acc := make([]bool, n)
-	tmp := make([]bool, n)
+	if cap(p.keep) < n {
+		p.keep = make([]bool, n)
+	}
+	keep := p.keep[:n]
+	if cap(p.tmp) < len(sel) {
+		p.tmp = make([]int32, len(sel))
+	}
+	tmp := p.tmp
 	for _, q := range p.Preds {
-		for i := range tmp {
-			tmp[i] = sel[i]
-		}
-		q.Eval(ctx, b, tmp)
-		for i := range acc {
-			acc[i] = acc[i] || tmp[i]
+		for _, i := range q.Eval(ctx, b, tmp[:copy(tmp, sel)]) {
+			keep[i] = true
 		}
 	}
-	for i := range sel {
-		sel[i] = sel[i] && acc[i]
+	// Marked positions are a subset of sel, so clearing while compacting
+	// restores the all-false invariant in O(len(sel)), not O(rows).
+	out := sel[:0]
+	for _, i := range sel {
+		if keep[i] {
+			keep[i] = false
+			out = append(out, i)
+		}
 	}
+	return out
 }
 
 func (p *Or) String() string {
@@ -180,55 +261,38 @@ func (p *Or) String() string {
 }
 
 // Not negates a predicate.
-type Not struct{ Pred Pred }
+type Not struct {
+	Pred Pred
+
+	tmp []int32
+}
 
 // Eval implements Pred.
-func (p *Not) Eval(ctx *Ctx, b *table.Batch, sel []bool) {
-	n := b.Rows()
-	tmp := make([]bool, n)
-	for i := range tmp {
-		tmp[i] = sel[i]
+func (p *Not) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
+	if len(sel) == 0 {
+		return sel
 	}
-	p.Pred.Eval(ctx, b, tmp)
-	for i := range sel {
-		sel[i] = sel[i] && !tmp[i]
+	if cap(p.tmp) < len(sel) {
+		p.tmp = make([]int32, len(sel))
 	}
+	tmp := p.tmp
+	kept := p.Pred.Eval(ctx, b, tmp[:copy(tmp, sel)])
+	// Both sel and kept are ascending: emit sel minus kept with one merge.
+	out := sel[:0]
+	k := 0
+	for _, i := range sel {
+		for k < len(kept) && kept[k] < i {
+			k++
+		}
+		if k < len(kept) && kept[k] == i {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
 }
 
 func (p *Not) String() string { return "NOT " + p.Pred.String() }
-
-func cmp64(a, b int64) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
-
-func cmpF(a, b float64) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
-
-func cmpS(a, b string) int {
-	switch {
-	case a < b:
-		return -1
-	case a > b:
-		return 1
-	default:
-		return 0
-	}
-}
 
 // Scalar is a per-row expression producing a vector; projections and
 // aggregate inputs use it.
@@ -258,9 +322,7 @@ func (e *Const) Type(*table.Schema) table.Type { return e.Val.Type }
 // EvalInto implements Scalar.
 func (e *Const) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
 	v := table.NewVector(e.Val.Type, b.Rows())
-	for i := 0; i < b.Rows(); i++ {
-		v.Append(e.Val)
-	}
+	v.AppendN(e.Val, b.Rows())
 	return v
 }
 
@@ -366,6 +428,6 @@ func arithI(op ArithOp, a, b int64) int64 {
 type TruePred struct{}
 
 // Eval implements Pred.
-func (TruePred) Eval(*Ctx, *table.Batch, []bool) {}
+func (TruePred) Eval(_ *Ctx, _ *table.Batch, sel []int32) []int32 { return sel }
 
 func (TruePred) String() string { return "true" }

@@ -34,6 +34,12 @@ func joinSchema(name string, l, r *table.Schema) *table.Schema {
 // out: hash join "relies on using a large chunk of memory ... From a power
 // perspective, these are expensive operations and may tip the balance in
 // favor of nested-loop join".
+//
+// The hash table is typed on the key column's physical class (raw int64,
+// float64 or string keys — int-class types share the int64 table, which
+// is what normalised Int64/Date/Decimal keys across relations), and the
+// probe inner loop only accumulates (buildRow, probeRow) index pairs;
+// output rows are materialised with one batch-level gather per side.
 type HashJoin struct {
 	Build    Operator
 	Probe    Operator
@@ -41,9 +47,13 @@ type HashJoin struct {
 	ProbeKey int // column index in Probe's schema
 
 	schema     *table.Schema
-	ht         map[table.Value][]int
-	buildRows  *table.Table
+	htI        map[int64][]int32
+	htF        map[float64][]int32
+	htS        map[string][]int32
+	buildB     *table.Batch // materialised build side
 	buildBytes int64
+	bsel, psel []int32      // reusable gather index scratch
+	out        *table.Batch // reusable output batch
 }
 
 // NewHashJoin builds a hash join of two operators on single key columns.
@@ -66,8 +76,7 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	if err := j.Build.Open(ctx); err != nil {
 		return err
 	}
-	j.ht = make(map[table.Value][]int)
-	j.buildRows = table.NewTable(j.Build.Schema())
+	j.buildB = table.NewBatch(j.Build.Schema(), 0)
 	j.buildBytes = 0
 	for {
 		b, err := j.Build.Next(ctx)
@@ -80,11 +89,7 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		ctx.ChargeRows(b.Rows(), ctx.Costs.HashBuildCyclesPerRow)
 		j.buildBytes += b.ByteSize()
 		ctx.TouchDRAM(b.ByteSize())
-		for r := 0; r < b.Rows(); r++ {
-			key := normKey(b.Vecs[j.BuildKey].Value(r))
-			j.ht[key] = append(j.ht[key], j.buildRows.Rows())
-			j.buildRows.AppendRow(b.Row(r)...)
-		}
+		j.buildB.AppendBatch(b)
 	}
 	if err := j.Build.Close(ctx); err != nil {
 		return err
@@ -93,20 +98,27 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d)",
 			j.buildBytes, ctx.MemBudgetBytes)
 	}
-	return j.Probe.Open(ctx)
-}
-
-// normKey normalises int-class values so Int64/Date/Decimal keys compare
-// equal across relations.
-func normKey(v table.Value) table.Value {
-	switch v.Type.Physical() {
+	// Hash the raw key column, unboxed.
+	kv := j.buildB.Vecs[j.BuildKey]
+	j.htI, j.htF, j.htS = nil, nil, nil
+	switch kv.Type.Physical() {
 	case table.PhysInt:
-		return table.Value{Type: table.Int64, I: v.I}
+		j.htI = make(map[int64][]int32, kv.Len())
+		for i, x := range kv.I {
+			j.htI[x] = append(j.htI[x], int32(i))
+		}
 	case table.PhysFloat:
-		return table.Value{Type: table.Float64, F: v.F}
+		j.htF = make(map[float64][]int32, kv.Len())
+		for i, x := range kv.F {
+			j.htF[x] = append(j.htF[x], int32(i))
+		}
 	default:
-		return table.Value{Type: table.String, S: v.S}
+		j.htS = make(map[string][]int32, kv.Len())
+		for i, x := range kv.S {
+			j.htS[x] = append(j.htS[x], int32(i))
+		}
 	}
+	return j.Probe.Open(ctx)
 }
 
 // Next implements Operator.
@@ -120,28 +132,57 @@ func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 			return nil, nil
 		}
 		ctx.ChargeRows(pb.Rows(), ctx.Costs.HashProbeCyclesPerRow)
-		out := table.NewBatch(j.schema, pb.Rows())
-		matches := 0
-		for r := 0; r < pb.Rows(); r++ {
-			key := normKey(pb.Vecs[j.ProbeKey].Value(r))
-			for _, bi := range j.ht[key] {
-				row := append(j.buildRows.Slice(bi, bi+1).Row(0), pb.Row(r)...)
-				out.AppendRow(row...)
-				matches++
+		bsel, psel := j.bsel[:0], j.psel[:0]
+		kv := pb.Vecs[j.ProbeKey]
+		switch kv.Type.Physical() {
+		case table.PhysInt:
+			for r, x := range kv.I {
+				for _, bi := range j.htI[x] {
+					bsel = append(bsel, bi)
+					psel = append(psel, int32(r))
+				}
+			}
+		case table.PhysFloat:
+			for r, x := range kv.F {
+				for _, bi := range j.htF[x] {
+					bsel = append(bsel, bi)
+					psel = append(psel, int32(r))
+				}
+			}
+		default:
+			for r, x := range kv.S {
+				for _, bi := range j.htS[x] {
+					bsel = append(bsel, bi)
+					psel = append(psel, int32(r))
+				}
 			}
 		}
-		ctx.ChargeRows(matches, ctx.Costs.JoinOutputCyclesPerRow)
-		if out.Rows() > 0 {
-			return out, nil
+		j.bsel, j.psel = bsel, psel
+		if len(psel) == 0 {
+			// Keep pulling probe batches until something matches or EOF.
+			continue
 		}
-		// Keep pulling probe batches until something matches or EOF.
+		ctx.ChargeRows(len(psel), ctx.Costs.JoinOutputCyclesPerRow)
+		if j.out == nil {
+			j.out = table.NewBatch(j.schema, len(psel))
+		}
+		j.out.Reset()
+		nb := len(j.buildB.Vecs)
+		for c, v := range j.buildB.Vecs {
+			j.out.Vecs[c].AppendGather(v, bsel)
+		}
+		for c, v := range pb.Vecs {
+			j.out.Vecs[nb+c].AppendGather(v, psel)
+		}
+		return j.out, nil
 	}
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close(ctx *Ctx) error {
-	j.ht = nil
-	j.buildRows = nil
+	j.htI, j.htF, j.htS = nil, nil, nil
+	j.buildB = nil
+	j.out = nil
 	return j.Probe.Close(ctx)
 }
 
@@ -156,9 +197,11 @@ type NestedLoopJoin struct {
 	OuterKey int
 	InnerKey int
 
-	schema *table.Schema
-	outerB *table.Batch
-	inner  bool // inner currently open
+	schema     *table.Schema
+	outerB     *table.Batch
+	inner      bool // inner currently open
+	osel, isel []int32
+	out        *table.Batch // reusable output batch
 }
 
 // NewNestedLoopJoin builds a block nested-loop equi-join.
@@ -179,6 +222,20 @@ func (j *NestedLoopJoin) Open(ctx *Ctx) error {
 	return j.Outer.Open(ctx)
 }
 
+// matchPairs compares every (outer, inner) key pair over the raw typed
+// slices and appends matching index pairs to osel/isel.
+func matchPairs[T int64 | float64 | string](ok, ik []T, osel, isel []int32) ([]int32, []int32) {
+	for or, ov := range ok {
+		for ir, iv := range ik {
+			if ov == iv {
+				osel = append(osel, int32(or))
+				isel = append(isel, int32(ir))
+			}
+		}
+	}
+	return osel, isel
+}
+
 // Next implements Operator.
 func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
 	for {
@@ -193,7 +250,9 @@ func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
 			if ob.Rows() == 0 {
 				continue
 			}
-			j.outerB = ob
+			// Copy: the outer child may reuse its batch while we hold this
+			// block across many inner batches.
+			j.outerB = ob.Clone()
 			if err := j.Inner.Open(ctx); err != nil { // rescan inner
 				return nil, err
 			}
@@ -213,23 +272,33 @@ func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
 		}
 		// Compare every (outer, inner) pair in the two blocks.
 		ctx.ChargeRows(j.outerB.Rows()*ib.Rows(), ctx.Costs.FilterCyclesPerRow)
-		out := table.NewBatch(j.schema, 0)
-		matches := 0
-		for or := 0; or < j.outerB.Rows(); or++ {
-			ok := normKey(j.outerB.Vecs[j.OuterKey].Value(or))
-			for ir := 0; ir < ib.Rows(); ir++ {
-				ik := normKey(ib.Vecs[j.InnerKey].Value(ir))
-				if ok == ik {
-					row := append(j.outerB.Row(or), ib.Row(ir)...)
-					out.AppendRow(row...)
-					matches++
-				}
-			}
+		osel, isel := j.osel[:0], j.isel[:0]
+		ov, iv := j.outerB.Vecs[j.OuterKey], ib.Vecs[j.InnerKey]
+		switch ov.Type.Physical() {
+		case table.PhysInt:
+			osel, isel = matchPairs(ov.I, iv.I, osel, isel)
+		case table.PhysFloat:
+			osel, isel = matchPairs(ov.F, iv.F, osel, isel)
+		default:
+			osel, isel = matchPairs(ov.S, iv.S, osel, isel)
 		}
-		ctx.ChargeRows(matches, ctx.Costs.JoinOutputCyclesPerRow)
-		if out.Rows() > 0 {
-			return out, nil
+		j.osel, j.isel = osel, isel
+		if len(osel) == 0 {
+			continue
 		}
+		ctx.ChargeRows(len(osel), ctx.Costs.JoinOutputCyclesPerRow)
+		if j.out == nil {
+			j.out = table.NewBatch(j.schema, len(osel))
+		}
+		j.out.Reset()
+		no := len(j.outerB.Vecs)
+		for c, v := range j.outerB.Vecs {
+			j.out.Vecs[c].AppendGather(v, osel)
+		}
+		for c, v := range ib.Vecs {
+			j.out.Vecs[no+c].AppendGather(v, isel)
+		}
+		return j.out, nil
 	}
 }
 

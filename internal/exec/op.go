@@ -8,6 +8,11 @@ import (
 // batches until it returns nil. Open must (re)initialise state so an
 // operator can be re-executed — block nested-loop join depends on
 // re-opening its inner side.
+//
+// A returned batch (and the vectors it references) is only valid until
+// the next call to Next or Close on the same operator: producers may
+// reuse buffers across calls. A consumer that retains rows beyond that —
+// as Run does — must copy them first (Batch.Clone, Table.AppendBatch).
 type Operator interface {
 	// Schema describes the batches this operator produces.
 	Schema() *table.Schema
@@ -36,7 +41,7 @@ func Run(ctx *Ctx, op Operator) ([]*table.Batch, error) {
 			break
 		}
 		if b.Rows() > 0 {
-			out = append(out, b)
+			out = append(out, b.Clone()) // operators may reuse batch buffers
 		}
 	}
 	return out, op.Close(ctx)
@@ -44,17 +49,22 @@ func Run(ctx *Ctx, op Operator) ([]*table.Batch, error) {
 
 // Collect drains op into a single table for convenient inspection.
 func Collect(ctx *Ctx, op Operator) (*table.Table, error) {
-	batches, err := Run(ctx, op)
-	if err != nil {
+	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	t := table.NewTable(op.Schema())
-	for _, b := range batches {
-		for r := 0; r < b.Rows(); r++ {
-			t.AppendRow(b.Row(r)...)
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			_ = op.Close(ctx)
+			return nil, err
 		}
+		if b == nil {
+			break
+		}
+		t.AppendBatch(b)
 	}
-	return t, nil
+	return t, op.Close(ctx)
 }
 
 // RowCount drains op and returns only the row count (no materialisation).

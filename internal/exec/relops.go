@@ -7,10 +7,15 @@ import (
 )
 
 // Filter drops rows failing the predicate (predicate positions reference
-// the child's schema).
+// the child's schema). Batches that pass entirely are forwarded as-is;
+// partial survivors are gathered into a reused output batch, so the
+// steady-state inner loop neither boxes values nor allocates.
 type Filter struct {
 	In   Operator
 	Pred Pred
+
+	sel []int32
+	out *table.Batch
 }
 
 // Schema implements Operator.
@@ -26,23 +31,28 @@ func (f *Filter) Next(ctx *Ctx) (*table.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		out := applyPredEmit(ctx, b, f.Pred, identity(len(b.Vecs)), f.In.Schema())
-		if out.Rows() > 0 {
-			return out, nil
+		n := b.Rows()
+		sel := iotaSel(&f.sel, n)
+		if f.Pred != nil {
+			sel = f.Pred.Eval(ctx, b, sel)
 		}
+		switch len(sel) {
+		case 0:
+			continue
+		case n:
+			return b, nil
+		}
+		if f.out == nil {
+			f.out = table.NewBatch(f.In.Schema(), len(sel))
+		}
+		f.out.Reset()
+		f.out.AppendGather(b, sel)
+		return f.out, nil
 	}
 }
 
 // Close implements Operator.
 func (f *Filter) Close(ctx *Ctx) error { return f.In.Close(ctx) }
-
-func identity(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
 
 // Project evaluates scalar expressions into a new batch.
 type Project struct {
@@ -119,24 +129,22 @@ func (l *Limit) Next(ctx *Ctx) (*table.Batch, error) {
 		l.seen += int64(b.Rows())
 		return b, nil
 	}
-	out := table.NewBatch(l.Schema(), int(remain))
-	for r := 0; int64(r) < remain; r++ {
-		out.AppendRow(b.Row(r)...)
-	}
 	l.seen = l.N
-	return out, nil
+	return b.Slice(0, int(remain)), nil
 }
 
 // Close implements Operator.
 func (l *Limit) Close(ctx *Ctx) error { return l.In.Close(ctx) }
 
 // Values is a leaf operator over an in-memory table (no storage charge):
-// used for tests, INSERT sources and tiny dimension tables.
+// used for tests, INSERT sources and tiny dimension tables. It reuses one
+// view batch across Next calls, re-pointing its vectors at the table.
 type Values struct {
 	Tab       *table.Table
 	BatchRows int
 
 	next int
+	view *table.Batch
 }
 
 // Schema implements Operator.
@@ -160,9 +168,17 @@ func (v *Values) Next(ctx *Ctx) (*table.Batch, error) {
 	if hi > v.Tab.Rows() {
 		hi = v.Tab.Rows()
 	}
-	b := v.Tab.Slice(v.next, hi)
+	if v.view == nil {
+		v.view = &table.Batch{Schema: v.Tab.Schema, Vecs: make([]*table.Vector, len(v.Tab.Schema.Cols))}
+		for i := range v.view.Vecs {
+			v.view.Vecs[i] = &table.Vector{}
+		}
+	}
+	for i := range v.view.Vecs {
+		v.Tab.Column(i).SliceInto(v.view.Vecs[i], v.next, hi)
+	}
 	v.next = hi
-	return b, nil
+	return v.view, nil
 }
 
 // Close implements Operator.

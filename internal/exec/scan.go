@@ -31,6 +31,8 @@ type ColumnScan struct {
 	cancel   bool
 	ready    *sim.Mailbox[int]
 	credits  *sim.Mailbox[int]
+	sel      []int32      // reusable selection vector
+	out      *table.Batch // reusable gathered-output batch
 }
 
 // NewColumnScan builds a scan; emit positions index into readCols.
@@ -131,7 +133,7 @@ func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
 	// Scanner work proper: predicate + projection over the logical bytes.
 	ctx.ChargeBytes(logicalBytes, ctx.Costs.ScanCyclesPerByte)
 	ctx.TouchDRAM(logicalBytes)
-	return applyPredEmit(ctx, read, s.Pred, s.Emit, s.schema), nil
+	return applyPredEmit(ctx, read, s.Pred, s.Emit, s.schema, &s.sel, &s.out), nil
 }
 
 func (s *ColumnScan) readSchema() *table.Schema {
@@ -178,6 +180,8 @@ type RowScan struct {
 	cancel  bool
 	ready   *sim.Mailbox[int]
 	credits *sim.Mailbox[int]
+	sel     []int32      // reusable selection vector
+	out     *table.Batch // reusable gathered-output batch
 }
 
 // NewRowScan builds a row-store scan; emit positions index the source
@@ -290,7 +294,7 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 	// Row stores pay tuple-parsing cost on top of the scan work.
 	ctx.ChargeBytes(blk.rawSize, ctx.Costs.ScanCyclesPerByte+ctx.Costs.RowParseCyclesPerByte)
 	ctx.TouchDRAM(blk.rawSize)
-	return applyPredEmit(ctx, full, s.Pred, s.Emit, s.schema), nil
+	return applyPredEmit(ctx, full, s.Pred, s.Emit, s.schema, &s.sel, &s.out), nil
 }
 
 // Close implements Operator. An early close lets the streaming reader run
@@ -308,25 +312,46 @@ func (s *RowScan) Close(ctx *Ctx) error {
 	return nil
 }
 
-// applyPredEmit filters batch rows with pred and projects emit positions
-// into a fresh batch with the given schema.
-func applyPredEmit(ctx *Ctx, in *table.Batch, pred Pred, emit []int, schema *table.Schema) *table.Batch {
+// iotaSel returns scratch resized to [0, 1, ..., n-1], growing its backing
+// array only when needed so steady-state filtering allocates nothing.
+func iotaSel(scratch *[]int32, n int) []int32 {
+	s := *scratch
+	if cap(s) < n {
+		s = make([]int32, n)
+		*scratch = s
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}
+
+// applyPredEmit filters batch rows with pred and projects emit positions.
+// When every row survives, the output columns are views of in's vectors;
+// otherwise survivors are gathered into the caller's reusable out batch
+// with one per-column copy. scratch holds the caller's reusable selection
+// vector.
+func applyPredEmit(ctx *Ctx, in *table.Batch, pred Pred, emit []int, schema *table.Schema, scratch *[]int32, out **table.Batch) *table.Batch {
 	n := in.Rows()
-	sel := make([]bool, n)
-	for i := range sel {
-		sel[i] = true
-	}
+	sel := iotaSel(scratch, n)
 	if pred != nil {
-		pred.Eval(ctx, in, sel)
+		sel = pred.Eval(ctx, in, sel)
 	}
-	out := table.NewBatch(schema, n)
-	for r := 0; r < n; r++ {
-		if !sel[r] {
-			continue
-		}
+	if len(sel) == n {
+		view := &table.Batch{Schema: schema, Vecs: make([]*table.Vector, len(emit))}
 		for oi, e := range emit {
-			out.Vecs[oi].Append(in.Vecs[e].Value(r))
+			view.Vecs[oi] = in.Vecs[e]
 		}
+		return view
 	}
-	return out
+	if *out == nil {
+		*out = table.NewBatch(schema, len(sel))
+	}
+	o := *out
+	o.Reset()
+	for oi, e := range emit {
+		o.Vecs[oi].AppendGather(in.Vecs[e], sel)
+	}
+	return o
 }

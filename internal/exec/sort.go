@@ -2,7 +2,7 @@ package exec
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"energydb/internal/table"
 )
@@ -19,11 +19,16 @@ type SortKey struct {
 // charged as writes to the spill volume and read back once during the
 // merge (the data-plane sort itself happens in memory; the timing plane
 // pays the real I/O an external sort would).
+//
+// The comparison sort runs over an index permutation with one typed
+// comparator per key closing over the raw column slice — no per-compare
+// Value boxing — and the sorted order is materialised with one
+// batch-level gather.
 type Sort struct {
 	In   Operator
 	Keys []SortKey
 
-	out  *table.Table
+	out  *table.Batch
 	next int
 	// Spills reports how many runs were spilled during the last Open.
 	Spills int
@@ -32,12 +37,39 @@ type Sort struct {
 // Schema implements Operator.
 func (s *Sort) Schema() *table.Schema { return s.In.Schema() }
 
+// keyCmp returns an ascending three-way comparator over rows a, b of the
+// key column, specialised to the column's physical class.
+func keyCmp(v *table.Vector) func(a, b int32) int {
+	switch v.Type.Physical() {
+	case table.PhysInt:
+		col := v.I
+		return func(a, b int32) int { return cmpOrd(col[a], col[b]) }
+	case table.PhysFloat:
+		col := v.F
+		return func(a, b int32) int { return cmpOrd(col[a], col[b]) }
+	default:
+		col := v.S
+		return func(a, b int32) int { return cmpOrd(col[a], col[b]) }
+	}
+}
+
+func cmpOrd[T int64 | float64 | string](x, y T) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Open implements Operator: it fully sorts the input.
 func (s *Sort) Open(ctx *Ctx) error {
 	if err := s.In.Open(ctx); err != nil {
 		return err
 	}
-	s.out = table.NewTable(s.In.Schema())
+	s.out = table.NewBatch(s.In.Schema(), 0)
 	s.next = 0
 	s.Spills = 0
 	var bytes int64
@@ -51,9 +83,7 @@ func (s *Sort) Open(ctx *Ctx) error {
 		}
 		bytes += b.ByteSize()
 		ctx.TouchDRAM(b.ByteSize())
-		for r := 0; r < b.Rows(); r++ {
-			s.out.AppendRow(b.Row(r)...)
-		}
+		s.out.AppendBatch(b)
 	}
 	if err := s.In.Close(ctx); err != nil {
 		return err
@@ -64,16 +94,31 @@ func (s *Sort) Open(ctx *Ctx) error {
 		// Comparison sort cost: n log2 n per key column.
 		logN := math.Log2(float64(n))
 		ctx.ChargeRows(n, ctx.Costs.SortCyclesPerRowLog*logN*float64(len(s.Keys)))
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
+		cmps := make([]func(a, b int32) int, len(s.Keys))
+		for i, k := range s.Keys {
+			cmps[i] = keyCmp(s.out.Vecs[k.Col])
+			if k.Desc {
+				asc := cmps[i]
+				cmps[i] = func(a, b int32) int { return -asc(a, b) }
+			}
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return s.less(idx[a], idx[b]) })
-		sorted := table.NewTable(s.out.Schema)
-		for _, i := range idx {
-			sorted.AppendRow(s.out.Slice(i, i+1).Row(0)...)
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
 		}
-		s.out = sorted
+		if len(cmps) == 1 {
+			slices.SortStableFunc(perm, cmps[0])
+		} else {
+			slices.SortStableFunc(perm, func(a, b int32) int {
+				for _, cmp := range cmps {
+					if c := cmp(a, b); c != 0 {
+						return c
+					}
+				}
+				return 0
+			})
+		}
+		s.out = s.out.Gather(perm)
 	}
 
 	// External-sort spill charge: write all runs, read them back to merge.
@@ -89,20 +134,6 @@ func (s *Sort) Open(ctx *Ctx) error {
 		ctx.ChargeRows(n, ctx.Costs.SortCyclesPerRowLog*math.Log2(float64(runs+1)))
 	}
 	return nil
-}
-
-func (s *Sort) less(a, b int) bool {
-	for _, k := range s.Keys {
-		c := s.out.Column(k.Col).Value(a).Compare(s.out.Column(k.Col).Value(b))
-		if c == 0 {
-			continue
-		}
-		if k.Desc {
-			return c > 0
-		}
-		return c < 0
-	}
-	return false
 }
 
 // Next implements Operator.

@@ -52,6 +52,71 @@ func (v *Vector) Append(val Value) {
 	}
 }
 
+// AppendN appends n copies of val.
+func (v *Vector) AppendN(val Value, n int) {
+	if val.Type.Physical() != v.Type.Physical() {
+		panic(fmt.Sprintf("table: appending %v to %v vector", val.Type, v.Type))
+	}
+	switch v.Type.Physical() {
+	case PhysInt:
+		for i := 0; i < n; i++ {
+			v.I = append(v.I, val.I)
+		}
+	case PhysFloat:
+		for i := 0; i < n; i++ {
+			v.F = append(v.F, val.F)
+		}
+	default:
+		for i := 0; i < n; i++ {
+			v.S = append(v.S, val.S)
+		}
+	}
+}
+
+// AppendSlice bulk-appends elements [lo, hi) of src, which must share v's
+// physical class. It is a single per-column copy, not hi-lo boxed appends.
+func (v *Vector) AppendSlice(src *Vector, lo, hi int) {
+	if src.Type.Physical() != v.Type.Physical() {
+		panic(fmt.Sprintf("table: appending %v slice to %v vector", src.Type, v.Type))
+	}
+	switch v.Type.Physical() {
+	case PhysInt:
+		v.I = append(v.I, src.I[lo:hi]...)
+	case PhysFloat:
+		v.F = append(v.F, src.F[lo:hi]...)
+	default:
+		v.S = append(v.S, src.S[lo:hi]...)
+	}
+}
+
+// AppendGather appends src's elements at the positions in sel, in order.
+func (v *Vector) AppendGather(src *Vector, sel []int32) {
+	if src.Type.Physical() != v.Type.Physical() {
+		panic(fmt.Sprintf("table: gathering %v into %v vector", src.Type, v.Type))
+	}
+	switch v.Type.Physical() {
+	case PhysInt:
+		for _, i := range sel {
+			v.I = append(v.I, src.I[i])
+		}
+	case PhysFloat:
+		for _, i := range sel {
+			v.F = append(v.F, src.F[i])
+		}
+	default:
+		for _, i := range sel {
+			v.S = append(v.S, src.S[i])
+		}
+	}
+}
+
+// Reset truncates the vector to zero length, keeping its capacity.
+func (v *Vector) Reset() {
+	v.I = v.I[:0:cap(v.I)]
+	v.F = v.F[:0:cap(v.F)]
+	v.S = v.S[:0:cap(v.S)]
+}
+
 // Value returns the i'th element boxed as a Value.
 func (v *Vector) Value(i int) Value {
 	switch v.Type.Physical() {
@@ -76,6 +141,22 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 		out.S = v.S[lo:hi]
 	}
 	return out
+}
+
+// SliceInto points dst at elements [lo, hi) of v, sharing the backing
+// array. It lets iterating operators reuse one view vector per column
+// instead of allocating a fresh view per batch.
+func (v *Vector) SliceInto(dst *Vector, lo, hi int) {
+	dst.Type = v.Type
+	dst.I, dst.F, dst.S = nil, nil, nil
+	switch v.Type.Physical() {
+	case PhysInt:
+		dst.I = v.I[lo:hi]
+	case PhysFloat:
+		dst.F = v.F[lo:hi]
+	default:
+		dst.S = v.S[lo:hi]
+	}
 }
 
 // ByteSize reports the in-memory (and on-wire) size of elements [lo, hi):
@@ -126,6 +207,57 @@ func (b *Batch) AppendRow(vals ...Value) {
 	}
 	for i, v := range vals {
 		b.Vecs[i].Append(v)
+	}
+}
+
+// AppendBatch bulk-appends all rows of src column-wise: one slice copy per
+// column instead of one boxed []Value per row.
+func (b *Batch) AppendBatch(src *Batch) {
+	if len(src.Vecs) != len(b.Vecs) {
+		panic(fmt.Sprintf("table: AppendBatch with %d columns into %d", len(src.Vecs), len(b.Vecs)))
+	}
+	for i, v := range src.Vecs {
+		b.Vecs[i].AppendSlice(v, 0, v.Len())
+	}
+}
+
+// AppendGather appends src's rows at the positions in sel, column-wise.
+func (b *Batch) AppendGather(src *Batch, sel []int32) {
+	if len(src.Vecs) != len(b.Vecs) {
+		panic(fmt.Sprintf("table: AppendGather with %d columns into %d", len(src.Vecs), len(b.Vecs)))
+	}
+	for i, v := range src.Vecs {
+		b.Vecs[i].AppendGather(v, sel)
+	}
+}
+
+// Gather returns a new batch holding the rows at the positions in sel.
+func (b *Batch) Gather(sel []int32) *Batch {
+	out := NewBatch(b.Schema, len(sel))
+	out.AppendGather(b, sel)
+	return out
+}
+
+// Slice returns a batch viewing rows [lo, hi) without copying.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	out := &Batch{Schema: b.Schema, Vecs: make([]*Vector, len(b.Vecs))}
+	for i, v := range b.Vecs {
+		out.Vecs[i] = v.Slice(lo, hi)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the batch (fresh backing arrays).
+func (b *Batch) Clone() *Batch {
+	out := NewBatch(b.Schema, b.Rows())
+	out.AppendBatch(b)
+	return out
+}
+
+// Reset truncates all vectors to zero rows, keeping their capacity.
+func (b *Batch) Reset() {
+	for _, v := range b.Vecs {
+		v.Reset()
 	}
 }
 
@@ -181,6 +313,16 @@ func (t *Table) AppendRow(vals ...Value) {
 	}
 	for i, v := range vals {
 		t.cols[i].Append(v)
+	}
+}
+
+// AppendBatch bulk-appends all rows of b column-wise.
+func (t *Table) AppendBatch(b *Batch) {
+	if len(b.Vecs) != len(t.cols) {
+		panic(fmt.Sprintf("table: AppendBatch with %d columns into %d", len(b.Vecs), len(t.cols)))
+	}
+	for i, v := range b.Vecs {
+		t.cols[i].AppendSlice(v, 0, v.Len())
 	}
 }
 
