@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"energydb/internal/hw"
+)
+
+// countDB builds a small database with a fact table and a dimension so the
+// count-only plan family (seed-verified broken: zero-column batches
+// reported zero rows) can be exercised across scans, filters and joins.
+func countDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{Server: hw.SmallServer(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"CREATE TABLE t (a BIGINT, b BIGINT)",
+		"INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)",
+		"CREATE TABLE d (k BIGINT, name TEXT)",
+		"INSERT INTO d VALUES (1, 'x'), (2, 'y'), (3, 'x'), (4, 'y')",
+	} {
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	return db
+}
+
+// one runs a query expected to produce a single int64 value.
+func one(t *testing.T, db *DB, query string) int64 {
+	t.Helper()
+	res, err := db.Exec(query)
+	if err != nil {
+		t.Fatalf("%s: %v", query, err)
+	}
+	if res.Rows.Rows() != 1 {
+		t.Fatalf("%s: %d rows, want 1", query, res.Rows.Rows())
+	}
+	return res.Rows.Column(0).I[0]
+}
+
+// TestCountStarGlobal is the regression for the count-only plan family:
+// global COUNT(*) — plain, with a WHERE clause, and over a join — used to
+// return 0 because the aggregate's input projection emitted zero-column
+// batches whose row count was inferred from a missing first vector.
+func TestCountStarGlobal(t *testing.T) {
+	db := countDB(t)
+	if got := one(t, db, "SELECT COUNT(*) FROM t"); got != 4 {
+		t.Errorf("COUNT(*) = %d, want 4", got)
+	}
+	if got := one(t, db, "SELECT COUNT(*) FROM t WHERE b > 15"); got != 3 {
+		t.Errorf("COUNT(*) WHERE = %d, want 3", got)
+	}
+	if got := one(t, db, "SELECT COUNT(*) FROM t JOIN d ON a = k"); got != 4 {
+		t.Errorf("COUNT(*) JOIN = %d, want 4", got)
+	}
+	if got := one(t, db, "SELECT COUNT(*) FROM t JOIN d ON a = k WHERE name = 'x'"); got != 2 {
+		t.Errorf("COUNT(*) JOIN WHERE = %d, want 2", got)
+	}
+	// The plain count-only plan no longer needs a sentinel column: the
+	// scan projects nothing and emits cardinality from placement metadata.
+	plan, err := db.Plan("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if expl := plan.Explain(); !strings.Contains(expl, "cols=0") {
+		t.Errorf("count-only plan still reads columns:\n%s", expl)
+	}
+}
+
+// TestCountStarJoinGroupBy pins the JOIN + GROUP BY COUNT(*) output: the
+// count column must survive the optimizer's final output projection with
+// correct per-group values.
+func TestCountStarJoinGroupBy(t *testing.T) {
+	db := countDB(t)
+	res, err := db.Exec("SELECT name, COUNT(*) FROM t JOIN d ON a = k GROUP BY name ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Rows.Rows())
+	}
+	if got := res.Rows.Column(0).S; got[0] != "x" || got[1] != "y" {
+		t.Errorf("groups = %v, want [x y]", got)
+	}
+	if got := res.Rows.Column(1).I; got[0] != 2 || got[1] != 2 {
+		t.Errorf("counts = %v, want [2 2]", got)
+	}
+	// Aggregate-first select order must keep the count column too.
+	res, err = db.Exec("SELECT COUNT(*), name FROM t JOIN d ON a = k WHERE b >= 20 GROUP BY name ORDER BY name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows.Column(0).I; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("counts = %v, want [1 2]", got)
+	}
+}
+
+// TestLimitZero pins LIMIT 0 end to end: an empty result with the right
+// schema, not a panic on the zero-length slice path and not a full scan.
+func TestLimitZero(t *testing.T) {
+	db := countDB(t)
+	res, err := db.Exec("SELECT a, b FROM t LIMIT 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Rows() != 0 {
+		t.Fatalf("LIMIT 0 rows = %d, want 0", res.Rows.Rows())
+	}
+	if len(res.Rows.Schema.Cols) != 2 {
+		t.Fatalf("LIMIT 0 schema = %v", res.Rows.Schema)
+	}
+	// LIMIT 1 on the same plan shape still works.
+	res, err = db.Exec("SELECT a, b FROM t LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows.Rows() != 1 {
+		t.Fatalf("LIMIT 1 rows = %d, want 1", res.Rows.Rows())
+	}
+}

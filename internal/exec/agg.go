@@ -55,9 +55,10 @@ type HashAgg struct {
 	aggs    []aggCol         // per spec: columnar state
 	order   []int32          // group ids in output order
 	next    int
-	keyBuf  []byte   // reused per-row key encoding buffer
-	gids    []int32  // reused per-batch group-id vector
-	keyCols []keyCol // reused per-batch resolved group columns
+	keyBuf  []byte       // reused per-row key encoding buffer
+	gids    []int32      // reused per-batch group-id vector
+	keyCols []keyCol     // reused per-batch resolved group columns
+	scratch *table.Batch // reusable compaction buffer for selected inputs
 }
 
 // keyCol is a group column with its physical class and raw slices
@@ -142,6 +143,17 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 		}
 		if b == nil {
 			break
+		}
+		if b.Sel != nil {
+			// The grouping and update loops run over whole vectors: a
+			// deferred upstream selection is compacted once, here at the
+			// aggregation boundary.
+			if h.scratch == nil {
+				h.scratch = table.NewBatch(h.In.Schema(), b.Rows())
+			}
+			h.scratch.Reset()
+			h.scratch.AppendBatch(b)
+			b = h.scratch
 		}
 		ctx.ChargeRows(b.Rows()*max(1, len(h.Aggs)), ctx.Costs.AggCyclesPerRow)
 		h.assignGroups(b)
@@ -308,6 +320,7 @@ func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 			h.next = 1
 			b := table.NewBatch(h.schema, 1)
 			h.appendEmptyRow(b)
+			b.SetRows(1)
 			return b, nil
 		}
 		return nil, nil
@@ -320,6 +333,7 @@ func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 	for _, gid := range h.order[h.next:hi] {
 		h.appendRow(b, gid)
 	}
+	b.SetRows(hi - h.next)
 	h.next = hi
 	return b, nil
 }
@@ -404,6 +418,7 @@ func (h *HashAgg) Close(ctx *Ctx) error {
 	h.aggs = nil
 	h.gids = nil
 	h.keyCols = nil
+	h.scratch = nil
 	return nil
 }
 

@@ -223,7 +223,7 @@ func (p *Or) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
 	if len(sel) == 0 {
 		return sel
 	}
-	n := b.Rows()
+	n := b.PhysRows() // sel holds physical row indexes
 	if cap(p.keep) < n {
 		p.keep = make([]bool, n)
 	}
@@ -295,7 +295,9 @@ func (p *Not) Eval(ctx *Ctx, b *table.Batch, sel []int32) []int32 {
 func (p *Not) String() string { return "NOT " + p.Pred.String() }
 
 // Scalar is a per-row expression producing a vector; projections and
-// aggregate inputs use it.
+// aggregate inputs use it. EvalInto evaluates over the batch's physical
+// rows (the full vectors), so a selection riding on the batch composes
+// onto the result unchanged.
 type Scalar interface {
 	Type(s *table.Schema) table.Type
 	EvalInto(ctx *Ctx, b *table.Batch) *table.Vector
@@ -321,8 +323,9 @@ func (e *Const) Type(*table.Schema) table.Type { return e.Val.Type }
 
 // EvalInto implements Scalar.
 func (e *Const) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
-	v := table.NewVector(e.Val.Type, b.Rows())
-	v.AppendN(e.Val, b.Rows())
+	n := b.PhysRows()
+	v := table.NewVector(e.Val.Type, n)
+	v.AppendN(e.Val, n)
 	return v
 }
 
@@ -367,8 +370,8 @@ func (e *Arith) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
 	ctx.ChargeRows(b.Rows(), ctx.Costs.ProjectCyclesPerRow)
 	l := e.L.EvalInto(ctx, b)
 	r := e.R.EvalInto(ctx, b)
-	out := table.NewVector(e.Type(b.Schema), b.Rows())
-	n := b.Rows()
+	n := b.PhysRows()
+	out := table.NewVector(e.Type(b.Schema), n)
 	if out.Type.Physical() == table.PhysFloat {
 		for i := 0; i < n; i++ {
 			out.F = append(out.F, arithF(e.Op, numAsF(l, i), numAsF(r, i)))

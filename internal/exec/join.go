@@ -121,6 +121,29 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 	return j.Probe.Open(ctx)
 }
 
+// probeHT probes the typed hash table with the probe batch's key column,
+// honouring a selection vector when one rides on the batch (sel == nil
+// probes every physical row). Matching (build, probe) physical index
+// pairs are appended to bsel/psel.
+func probeHT[T comparable](ht map[T][]int32, key []T, sel, bsel, psel []int32) ([]int32, []int32) {
+	if sel == nil {
+		for r, x := range key {
+			for _, bi := range ht[x] {
+				bsel = append(bsel, bi)
+				psel = append(psel, int32(r))
+			}
+		}
+		return bsel, psel
+	}
+	for _, pi := range sel {
+		for _, bi := range ht[key[pi]] {
+			bsel = append(bsel, bi)
+			psel = append(psel, pi)
+		}
+	}
+	return bsel, psel
+}
+
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 	for {
@@ -136,26 +159,11 @@ func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 		kv := pb.Vecs[j.ProbeKey]
 		switch kv.Type.Physical() {
 		case table.PhysInt:
-			for r, x := range kv.I {
-				for _, bi := range j.htI[x] {
-					bsel = append(bsel, bi)
-					psel = append(psel, int32(r))
-				}
-			}
+			bsel, psel = probeHT(j.htI, kv.I, pb.Sel, bsel, psel)
 		case table.PhysFloat:
-			for r, x := range kv.F {
-				for _, bi := range j.htF[x] {
-					bsel = append(bsel, bi)
-					psel = append(psel, int32(r))
-				}
-			}
+			bsel, psel = probeHT(j.htF, kv.F, pb.Sel, bsel, psel)
 		default:
-			for r, x := range kv.S {
-				for _, bi := range j.htS[x] {
-					bsel = append(bsel, bi)
-					psel = append(psel, int32(r))
-				}
-			}
+			bsel, psel = probeHT(j.htS, kv.S, pb.Sel, bsel, psel)
 		}
 		j.bsel, j.psel = bsel, psel
 		if len(psel) == 0 {
@@ -174,6 +182,7 @@ func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 		for c, v := range pb.Vecs {
 			j.out.Vecs[nb+c].AppendGather(v, psel)
 		}
+		j.out.SetRows(len(psel))
 		return j.out, nil
 	}
 }
@@ -202,6 +211,7 @@ type NestedLoopJoin struct {
 	inner      bool // inner currently open
 	osel, isel []int32
 	out        *table.Batch // reusable output batch
+	iscratch   *table.Batch // reusable compaction buffer for selected inner batches
 }
 
 // NewNestedLoopJoin builds a block nested-loop equi-join.
@@ -270,6 +280,16 @@ func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
 			j.outerB = nil
 			continue
 		}
+		if ib.Sel != nil {
+			// The pairwise kernels run over whole vectors: compact a
+			// selected inner batch once, here at the consumption boundary.
+			if j.iscratch == nil {
+				j.iscratch = table.NewBatch(j.Inner.Schema(), ib.Rows())
+			}
+			j.iscratch.Reset()
+			j.iscratch.AppendBatch(ib)
+			ib = j.iscratch
+		}
 		// Compare every (outer, inner) pair in the two blocks.
 		ctx.ChargeRows(j.outerB.Rows()*ib.Rows(), ctx.Costs.FilterCyclesPerRow)
 		osel, isel := j.osel[:0], j.isel[:0]
@@ -298,6 +318,7 @@ func (j *NestedLoopJoin) Next(ctx *Ctx) (*table.Batch, error) {
 		for c, v := range ib.Vecs {
 			j.out.Vecs[no+c].AppendGather(v, isel)
 		}
+		j.out.SetRows(len(osel))
 		return j.out, nil
 	}
 }
@@ -309,6 +330,9 @@ func (j *NestedLoopJoin) Close(ctx *Ctx) error {
 		err = j.Inner.Close(ctx)
 		j.inner = false
 	}
+	j.outerB = nil
+	j.out = nil
+	j.iscratch = nil
 	if e := j.Outer.Close(ctx); err == nil {
 		err = e
 	}

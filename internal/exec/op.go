@@ -9,10 +9,19 @@ import (
 // operator can be re-executed — block nested-loop join depends on
 // re-opening its inner side.
 //
-// A returned batch (and the vectors it references) is only valid until
-// the next call to Next or Close on the same operator: producers may
-// reuse buffers across calls. A consumer that retains rows beyond that —
-// as Run does — must copy them first (Batch.Clone, Table.AppendBatch).
+// A returned batch (and the vectors and selection it references) is only
+// valid until the next call to Next or Close on the same operator:
+// producers may reuse buffers across calls. A consumer that retains rows
+// beyond that — as Run does — must copy them first (Batch.Clone,
+// Table.AppendBatch).
+//
+// Cardinality is explicit: Batch.Rows() is authoritative even for
+// zero-column batches (count-only plans produce them). A batch may carry
+// a deferred selection (Batch.Sel) instead of being compacted by the
+// producer; consumers either compose it (Filter, Project, HashJoin's
+// probe) or resolve it once at their materialisation boundary (join
+// build, aggregation, sort, output) via the selection-aware Batch
+// mutators.
 type Operator interface {
 	// Schema describes the batches this operator produces.
 	Schema() *table.Schema

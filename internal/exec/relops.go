@@ -8,14 +8,16 @@ import (
 
 // Filter drops rows failing the predicate (predicate positions reference
 // the child's schema). Batches that pass entirely are forwarded as-is;
-// partial survivors are gathered into a reused output batch, so the
-// steady-state inner loop neither boxes values nor allocates.
+// partial survivors are NOT gathered — the surviving selection vector
+// rides on a reused view batch sharing the child's vectors, and chains of
+// filters compose their selections in place, deferring the one compaction
+// to the consumer's materialisation boundary.
 type Filter struct {
 	In   Operator
 	Pred Pred
 
-	sel []int32
-	out *table.Batch
+	sel  []int32
+	view *table.Batch
 }
 
 // Schema implements Operator.
@@ -32,7 +34,19 @@ func (f *Filter) Next(ctx *Ctx) (*table.Batch, error) {
 			return nil, err
 		}
 		n := b.Rows()
-		sel := iotaSel(&f.sel, n)
+		// Start from the child's selection when it carries one (copied into
+		// our scratch: Eval compacts in place and must not corrupt the
+		// child's batch), else from the identity.
+		var sel []int32
+		if b.Sel != nil {
+			if cap(f.sel) < n {
+				f.sel = make([]int32, n)
+			}
+			sel = f.sel[:n]
+			copy(sel, b.Sel)
+		} else {
+			sel = iotaSel(&f.sel, n)
+		}
 		if f.Pred != nil {
 			sel = f.Pred.Eval(ctx, b, sel)
 		}
@@ -42,12 +56,12 @@ func (f *Filter) Next(ctx *Ctx) (*table.Batch, error) {
 		case n:
 			return b, nil
 		}
-		if f.out == nil {
-			f.out = table.NewBatch(f.In.Schema(), len(sel))
+		if f.view == nil {
+			f.view = &table.Batch{Schema: f.In.Schema(), Vecs: make([]*table.Vector, len(b.Vecs))}
 		}
-		f.out.Reset()
-		f.out.AppendGather(b, sel)
-		return f.out, nil
+		copy(f.view.Vecs, b.Vecs)
+		f.view.SetSel(sel)
+		return f.view, nil
 	}
 }
 
@@ -82,7 +96,9 @@ func (p *Project) Schema() *table.Schema { return p.schema }
 // Open implements Operator.
 func (p *Project) Open(ctx *Ctx) error { return p.In.Open(ctx) }
 
-// Next implements Operator.
+// Next implements Operator. Expressions evaluate over the child's
+// physical rows; an incoming selection is not compacted here but composed
+// onto the output batch, so filter→project chains stay gather-free.
 func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 	b, err := p.In.Next(ctx)
 	if err != nil || b == nil {
@@ -92,13 +108,19 @@ func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 	for i, e := range p.Exprs {
 		out.Vecs[i] = e.EvalInto(ctx, b)
 	}
+	if b.Sel != nil && len(p.Exprs) > 0 {
+		out.SetSel(b.Sel)
+	} else {
+		out.SetRows(b.Rows())
+	}
 	return out, nil
 }
 
 // Close implements Operator.
 func (p *Project) Close(ctx *Ctx) error { return p.In.Close(ctx) }
 
-// Limit passes through at most N rows.
+// Limit passes through at most N rows; N <= 0 yields an empty result
+// without pulling from the child at all.
 type Limit struct {
 	In Operator
 	N  int64
@@ -117,7 +139,7 @@ func (l *Limit) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (l *Limit) Next(ctx *Ctx) (*table.Batch, error) {
-	if l.seen >= l.N {
+	if l.N <= 0 || l.seen >= l.N {
 		return nil, nil
 	}
 	b, err := l.In.Next(ctx)
@@ -177,6 +199,7 @@ func (v *Values) Next(ctx *Ctx) (*table.Batch, error) {
 	for i := range v.view.Vecs {
 		v.Tab.Column(i).SliceInto(v.view.Vecs[i], v.next, hi)
 	}
+	v.view.SetRows(hi - v.next)
 	v.next = hi
 	return v.view, nil
 }

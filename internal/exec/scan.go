@@ -25,6 +25,7 @@ type ColumnScan struct {
 	Window   int   // pipeline depth in blocks (default 2)
 
 	schema   *table.Schema
+	readSch  *table.Schema
 	nblocks  int
 	consumed int
 	started  bool
@@ -32,10 +33,13 @@ type ColumnScan struct {
 	ready    *sim.Mailbox[int]
 	credits  *sim.Mailbox[int]
 	sel      []int32      // reusable selection vector
-	out      *table.Batch // reusable gathered-output batch
+	view     *table.Batch // reusable output view batch
 }
 
-// NewColumnScan builds a scan; emit positions index into readCols.
+// NewColumnScan builds a scan; emit positions index into readCols. A scan
+// may read (and emit) no columns at all — a count-only plan — in which
+// case it produces zero-column batches carrying each block's cardinality
+// without touching the volume.
 func NewColumnScan(st *StoredTable, readCols, emit []int, pred Pred) *ColumnScan {
 	if st.Layout != ColumnMajor {
 		panic("exec: ColumnScan over non-columnar placement")
@@ -44,12 +48,17 @@ func NewColumnScan(st *StoredTable, readCols, emit []int, pred Pred) *ColumnScan
 	for i, e := range emit {
 		cols[i] = st.Tab.Schema.Cols[readCols[e]]
 	}
+	readCs := make([]table.Column, len(readCols))
+	for i, ci := range readCols {
+		readCs[i] = st.Tab.Schema.Cols[ci]
+	}
 	return &ColumnScan{
 		ST:       st,
 		ReadCols: readCols,
 		Emit:     emit,
 		Pred:     pred,
 		schema:   table.NewSchema(st.Tab.Schema.Name, cols...),
+		readSch:  table.NewSchema(st.Tab.Schema.Name, readCs...),
 	}
 }
 
@@ -113,7 +122,7 @@ func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
 	s.consumed++
 	s.credits.Put(1)
 
-	read := table.NewBatch(s.readSchema(), 0)
+	read := table.NewBatch(s.readSch, 0)
 	var logicalBytes int64
 	for i, ci := range s.ReadCols {
 		blk := s.ST.cols[ci][b]
@@ -130,18 +139,12 @@ func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
 		read.Vecs[i] = v
 		logicalBytes += blk.rawSize
 	}
+	lo, hi := s.ST.blockSpan(b)
+	read.SetRows(hi - lo)
 	// Scanner work proper: predicate + projection over the logical bytes.
 	ctx.ChargeBytes(logicalBytes, ctx.Costs.ScanCyclesPerByte)
 	ctx.TouchDRAM(logicalBytes)
-	return applyPredEmit(ctx, read, s.Pred, s.Emit, s.schema, &s.sel, &s.out), nil
-}
-
-func (s *ColumnScan) readSchema() *table.Schema {
-	cols := make([]table.Column, len(s.ReadCols))
-	for i, ci := range s.ReadCols {
-		cols[i] = s.ST.Tab.Schema.Cols[ci]
-	}
-	return table.NewSchema(s.ST.Tab.Schema.Name, cols...)
+	return applyPredEmit(ctx, read, s.Pred, s.Emit, s.schema, &s.sel, &s.view), nil
 }
 
 // Close implements Operator. Closing early cancels the reader process.
@@ -181,7 +184,7 @@ type RowScan struct {
 	ready   *sim.Mailbox[int]
 	credits *sim.Mailbox[int]
 	sel     []int32      // reusable selection vector
-	out     *table.Batch // reusable gathered-output batch
+	view    *table.Batch // reusable output view batch
 }
 
 // NewRowScan builds a row-store scan; emit positions index the source
@@ -294,7 +297,7 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 	// Row stores pay tuple-parsing cost on top of the scan work.
 	ctx.ChargeBytes(blk.rawSize, ctx.Costs.ScanCyclesPerByte+ctx.Costs.RowParseCyclesPerByte)
 	ctx.TouchDRAM(blk.rawSize)
-	return applyPredEmit(ctx, full, s.Pred, s.Emit, s.schema, &s.sel, &s.out), nil
+	return applyPredEmit(ctx, full, s.Pred, s.Emit, s.schema, &s.sel, &s.view), nil
 }
 
 // Close implements Operator. An early close lets the streaming reader run
@@ -328,30 +331,32 @@ func iotaSel(scratch *[]int32, n int) []int32 {
 }
 
 // applyPredEmit filters batch rows with pred and projects emit positions.
-// When every row survives, the output columns are views of in's vectors;
-// otherwise survivors are gathered into the caller's reusable out batch
-// with one per-column copy. scratch holds the caller's reusable selection
-// vector.
-func applyPredEmit(ctx *Ctx, in *table.Batch, pred Pred, emit []int, schema *table.Schema, scratch *[]int32, out **table.Batch) *table.Batch {
+// The output columns are always views of in's vectors; when only some
+// rows survive, the surviving selection vector rides on the batch instead
+// of being gathered here — compaction is deferred to the consumer's
+// materialisation boundary. view holds the caller's reusable output view
+// and scratch its reusable selection vector (both aliased by the returned
+// batch, which is valid until the caller's next call).
+func applyPredEmit(ctx *Ctx, in *table.Batch, pred Pred, emit []int, schema *table.Schema, scratch *[]int32, view **table.Batch) *table.Batch {
 	n := in.Rows()
 	sel := iotaSel(scratch, n)
 	if pred != nil {
 		sel = pred.Eval(ctx, in, sel)
 	}
-	if len(sel) == n {
-		view := &table.Batch{Schema: schema, Vecs: make([]*table.Vector, len(emit))}
-		for oi, e := range emit {
-			view.Vecs[oi] = in.Vecs[e]
-		}
-		return view
+	if *view == nil {
+		*view = &table.Batch{Schema: schema, Vecs: make([]*table.Vector, len(emit))}
 	}
-	if *out == nil {
-		*out = table.NewBatch(schema, len(sel))
-	}
-	o := *out
-	o.Reset()
+	o := *view
 	for oi, e := range emit {
-		o.Vecs[oi].AppendGather(in.Vecs[e], sel)
+		o.Vecs[oi] = in.Vecs[e]
+	}
+	if len(sel) == n || len(emit) == 0 {
+		// All rows survive, or there are no columns to select over: a
+		// plain batch with explicit cardinality (zero-column batches never
+		// carry a selection).
+		o.SetRows(len(sel))
+	} else {
+		o.SetSel(sel)
 	}
 	return o
 }

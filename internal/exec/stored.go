@@ -123,6 +123,16 @@ func PlaceRowMajor(t *table.Table, vol *storage.Volume, fileID int32, blockRows 
 	return st, nil
 }
 
+// blockSpan reports the row range [lo, hi) of block b — the placement's
+// cardinality metadata, available even when a scan reads no columns.
+func (st *StoredTable) blockSpan(b int) (lo, hi int) {
+	if st.Layout == RowMajor {
+		return st.rows[b].lo, st.rows[b].hi
+	}
+	blk := st.cols[0][b]
+	return blk.lo, blk.hi
+}
+
 // NumBlocks reports the block count (per column for ColumnMajor — all
 // columns have the same count).
 func (st *StoredTable) NumBlocks() int {

@@ -208,9 +208,8 @@ func (o *optimizer) requiredCols(alias string) []string {
 			cols = append(cols, c.Name)
 		}
 	}
-	if len(cols) == 0 {
-		cols = []string{schema.Cols[0].Name} // need at least one for counting
-	}
+	// A count-only query may need no columns at all: batches carry an
+	// explicit row count, so the scan reads nothing and emits cardinality.
 	return cols
 }
 
@@ -257,9 +256,14 @@ func (o *optimizer) bestScan(alias string) (PhysNode, error) {
 	return best, nil
 }
 
-// scanCost prices a scan of the given columns of st.
+// scanCost prices a scan of the given columns of st. A column scan that
+// reads no columns (count-only plan) touches neither the volume nor the
+// data: it emits block cardinality from placement metadata for free.
 func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms int) Cost {
 	env := o.env
+	if st.Layout == exec.ColumnMajor && len(readCols) == 0 {
+		return Cost{}
+	}
 	var encBytes, rawBytes, decodeCycles float64
 	if st.Layout == exec.ColumnMajor {
 		for _, ci := range readCols {

@@ -108,11 +108,11 @@ func (s *PScan) Cost() Cost { return s.cost }
 
 // Build implements PhysNode.
 func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
-	pred, err := s.execPred()
-	if err != nil {
-		return nil, err
-	}
 	if s.Variant.ST.Layout == exec.ColumnMajor {
+		pred, err := s.execPred()
+		if err != nil {
+			return nil, err
+		}
 		return exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred), nil
 	}
 	// Row scans read the full schema; Read positions are source positions.
@@ -124,7 +124,6 @@ func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	_ = pred
 	rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
 	rs.Window = 4 // planner scans are big: pipeline with readahead
 	return rs, nil

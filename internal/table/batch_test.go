@@ -160,6 +160,108 @@ func TestBatchReset(t *testing.T) {
 	}
 }
 
+// TestZeroColumnBatch covers the column-less batch contract: the batch
+// APIs stay legal with an empty schema and cardinality flows through
+// SetRows and every mutator instead of being inferred from vectors.
+func TestZeroColumnBatch(t *testing.T) {
+	s := NewSchema("empty")
+	b := NewBatch(s, 0)
+	if len(b.Vecs) != 0 || b.Rows() != 0 {
+		t.Fatalf("fresh zero-column batch: vecs=%d rows=%d", len(b.Vecs), b.Rows())
+	}
+	b.SetRows(7)
+	if b.Rows() != 7 {
+		t.Fatalf("SetRows: rows = %d, want 7", b.Rows())
+	}
+
+	// AppendBatch accumulates cardinality with no columns to copy.
+	acc := NewBatch(s, 0)
+	acc.AppendBatch(b)
+	acc.AppendBatch(b)
+	if acc.Rows() != 14 {
+		t.Fatalf("AppendBatch rows = %d, want 14", acc.Rows())
+	}
+
+	// Gather and Slice keep working on the empty column set.
+	if g := b.Gather([]int32{0, 2, 4}); g.Rows() != 3 || len(g.Vecs) != 0 {
+		t.Fatalf("gather: rows=%d vecs=%d", g.Rows(), len(g.Vecs))
+	}
+	if v := b.Slice(2, 6); v.Rows() != 4 {
+		t.Fatalf("slice rows = %d, want 4", v.Rows())
+	}
+	if v := b.Slice(0, 0); v.Rows() != 0 {
+		t.Fatalf("empty slice rows = %d, want 0", v.Rows())
+	}
+	if c := b.Clone(); c.Rows() != 7 {
+		t.Fatalf("clone rows = %d, want 7", c.Rows())
+	}
+	b.Reset()
+	if b.Rows() != 0 {
+		t.Fatalf("rows after reset = %d", b.Rows())
+	}
+
+	// A zero-column table accumulates batch cardinality too.
+	tab := NewTable(s)
+	acc.SetRows(5)
+	tab.AppendBatch(acc)
+	if tab.Rows() != 5 {
+		t.Fatalf("table rows = %d, want 5", tab.Rows())
+	}
+}
+
+// TestBatchSelection covers the deferred-selection contract: a batch
+// carrying Sel exposes only the selected rows through the logical
+// accessors, and materialising consumers resolve the selection once.
+func TestBatchSelection(t *testing.T) {
+	b := mixedBatch(8)
+	want := rowsOf(b)
+	b.SetSel([]int32{1, 3, 6})
+
+	if b.Rows() != 3 || b.PhysRows() != 8 {
+		t.Fatalf("rows=%d phys=%d, want 3/8", b.Rows(), b.PhysRows())
+	}
+	for i, p := range []int{1, 3, 6} {
+		if !reflect.DeepEqual(b.Row(i), want[p]) {
+			t.Fatalf("logical row %d: %v, want physical row %d %v", i, b.Row(i), p, want[p])
+		}
+	}
+
+	// Slice narrows the selection, still without copying.
+	v := b.Slice(1, 3)
+	if v.Rows() != 2 || !reflect.DeepEqual(v.Row(0), want[3]) || !reflect.DeepEqual(v.Row(1), want[6]) {
+		t.Fatalf("sliced selection wrong: %v", rowsOf(v))
+	}
+
+	// Clone and AppendBatch compact: fresh aligned vectors, Sel dropped.
+	c := b.Clone()
+	if c.Sel != nil || c.Rows() != 3 || c.PhysRows() != 3 {
+		t.Fatalf("clone: sel=%v rows=%d phys=%d", c.Sel, c.Rows(), c.PhysRows())
+	}
+	for i, p := range []int{1, 3, 6} {
+		if !reflect.DeepEqual(c.Row(i), want[p]) {
+			t.Fatalf("clone row %d differs", i)
+		}
+	}
+
+	// ByteSize counts logical rows only.
+	if got, wantSz := b.ByteSize(), c.ByteSize(); got != wantSz {
+		t.Fatalf("selected ByteSize = %d, compacted = %d", got, wantSz)
+	}
+
+	// Table.AppendBatch resolves the selection.
+	tab := NewTable(b.Schema)
+	tab.AppendBatch(b)
+	if tab.Rows() != 3 || tab.Column(0).I[1] != 3 {
+		t.Fatalf("table after selected append: rows=%d col0=%v", tab.Rows(), tab.Column(0).I)
+	}
+
+	// SetRows clears the selection.
+	b.SetRows(8)
+	if b.Sel != nil || b.Rows() != 8 {
+		t.Fatalf("SetRows did not clear selection: sel=%v rows=%d", b.Sel, b.Rows())
+	}
+}
+
 func TestVectorAppendN(t *testing.T) {
 	for _, tc := range []struct {
 		v Value

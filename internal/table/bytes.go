@@ -160,5 +160,6 @@ func DecodeRows(s *Schema, data []byte, n int) (*Batch, error) {
 	if off != len(data) {
 		return nil, fmt.Errorf("table: %d trailing bytes after %d rows", len(data)-off, n)
 	}
+	b.SetRows(n)
 	return b, nil
 }

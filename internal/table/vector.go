@@ -175,15 +175,49 @@ func (v *Vector) ByteSize(lo, hi int) int64 {
 	}
 }
 
+// ByteSizeSel reports the wire size of the elements at the positions in
+// sel, in the EncodeBytes format (8 bytes per fixed-width element,
+// uvarint length prefix + bytes per string).
+func (v *Vector) ByteSizeSel(sel []int32) int64 {
+	switch v.Type.Physical() {
+	case PhysInt, PhysFloat:
+		return int64(len(sel)) * 8
+	default:
+		var n int64
+		for _, i := range sel {
+			s := v.S[i]
+			n += int64(uvarintLen(uint64(len(s)))) + int64(len(s))
+		}
+		return n
+	}
+}
+
 // Batch is a set of aligned column vectors: the unit the executor's
 // operators pass between each other.
+//
+// Cardinality is explicit: Rows() reports the rows field maintained by
+// every mutator, never inferred from vector lengths, so zero-column
+// batches (count-only plans) carry a correct row count.
+//
+// Sel, when non-nil, is a selection vector: the batch's logical rows are
+// Vecs' physical rows at the positions in Sel, in order, and
+// Rows() == len(Sel). Producers use it to defer the gather a filter would
+// otherwise perform per batch; consumers that materialise (AppendBatch,
+// Clone, Row, ByteSize, Slice) resolve it transparently, so the one
+// compaction happens at the materialisation boundary. Invariants: a batch
+// without a selection has every vector aligned at Rows() values; a
+// zero-column batch never carries a selection.
 type Batch struct {
 	Schema *Schema
 	Vecs   []*Vector
+	Sel    []int32
+
+	rows int
 }
 
 // NewBatch returns an empty batch for the schema with the given row
-// capacity.
+// capacity. A schema with no columns is legal: the batch then carries
+// cardinality only (set via SetRows / AppendBatch).
 func NewBatch(s *Schema, capacity int) *Batch {
 	b := &Batch{Schema: s, Vecs: make([]*Vector, len(s.Cols))}
 	for i, c := range s.Cols {
@@ -192,10 +226,31 @@ func NewBatch(s *Schema, capacity int) *Batch {
 	return b
 }
 
-// Rows reports the row count (all vectors are aligned).
-func (b *Batch) Rows() int {
+// Rows reports the logical row count.
+func (b *Batch) Rows() int { return b.rows }
+
+// SetRows sets the logical row count directly and clears any selection.
+// It is how column-less batches carry cardinality, and how operators that
+// write Vecs directly (bypassing the batch mutators) restore the row
+// invariant afterwards.
+func (b *Batch) SetRows(n int) {
+	b.rows = n
+	b.Sel = nil
+}
+
+// SetSel installs sel as the batch's selection vector (positions into the
+// physical vectors) and sets the logical row count to len(sel). The batch
+// aliases sel; it stays valid only as long as sel's backing array does.
+func (b *Batch) SetSel(sel []int32) {
+	b.Sel = sel
+	b.rows = len(sel)
+}
+
+// PhysRows reports the physical row count of the backing vectors (equal
+// to Rows() when no selection is installed).
+func (b *Batch) PhysRows() int {
 	if len(b.Vecs) == 0 {
-		return 0
+		return b.rows
 	}
 	return b.Vecs[0].Len()
 }
@@ -208,20 +263,31 @@ func (b *Batch) AppendRow(vals ...Value) {
 	for i, v := range vals {
 		b.Vecs[i].Append(v)
 	}
+	b.rows++
 }
 
-// AppendBatch bulk-appends all rows of src column-wise: one slice copy per
-// column instead of one boxed []Value per row.
+// AppendBatch bulk-appends all logical rows of src column-wise: one slice
+// copy (or gather, when src carries a selection) per column instead of
+// one boxed []Value per row.
 func (b *Batch) AppendBatch(src *Batch) {
 	if len(src.Vecs) != len(b.Vecs) {
 		panic(fmt.Sprintf("table: AppendBatch with %d columns into %d", len(src.Vecs), len(b.Vecs)))
 	}
-	for i, v := range src.Vecs {
-		b.Vecs[i].AppendSlice(v, 0, v.Len())
+	if src.Sel != nil {
+		for i, v := range src.Vecs {
+			b.Vecs[i].AppendGather(v, src.Sel)
+		}
+	} else {
+		for i, v := range src.Vecs {
+			b.Vecs[i].AppendSlice(v, 0, v.Len())
+		}
 	}
+	b.rows += src.rows
 }
 
-// AppendGather appends src's rows at the positions in sel, column-wise.
+// AppendGather appends src's rows at the physical positions in sel,
+// column-wise (sel indexes src's vectors directly, ignoring any selection
+// already installed on src).
 func (b *Batch) AppendGather(src *Batch, sel []int32) {
 	if len(src.Vecs) != len(b.Vecs) {
 		panic(fmt.Sprintf("table: AppendGather with %d columns into %d", len(src.Vecs), len(b.Vecs)))
@@ -229,40 +295,55 @@ func (b *Batch) AppendGather(src *Batch, sel []int32) {
 	for i, v := range src.Vecs {
 		b.Vecs[i].AppendGather(v, sel)
 	}
+	b.rows += len(sel)
 }
 
-// Gather returns a new batch holding the rows at the positions in sel.
+// Gather returns a new batch holding the rows at the physical positions
+// in sel. Gathering a zero-column batch yields a zero-column batch of
+// len(sel) rows.
 func (b *Batch) Gather(sel []int32) *Batch {
 	out := NewBatch(b.Schema, len(sel))
 	out.AppendGather(b, sel)
 	return out
 }
 
-// Slice returns a batch viewing rows [lo, hi) without copying.
+// Slice returns a batch viewing logical rows [lo, hi) without copying.
 func (b *Batch) Slice(lo, hi int) *Batch {
-	out := &Batch{Schema: b.Schema, Vecs: make([]*Vector, len(b.Vecs))}
+	out := &Batch{Schema: b.Schema, Vecs: make([]*Vector, len(b.Vecs)), rows: hi - lo}
+	if b.Sel != nil {
+		copy(out.Vecs, b.Vecs)
+		out.Sel = b.Sel[lo:hi]
+		return out
+	}
 	for i, v := range b.Vecs {
 		out.Vecs[i] = v.Slice(lo, hi)
 	}
 	return out
 }
 
-// Clone returns a deep copy of the batch (fresh backing arrays).
+// Clone returns a deep copy of the batch's logical rows (fresh backing
+// arrays, any selection compacted away).
 func (b *Batch) Clone() *Batch {
 	out := NewBatch(b.Schema, b.Rows())
 	out.AppendBatch(b)
 	return out
 }
 
-// Reset truncates all vectors to zero rows, keeping their capacity.
+// Reset truncates all vectors to zero rows, keeping their capacity, and
+// drops any selection.
 func (b *Batch) Reset() {
 	for _, v := range b.Vecs {
 		v.Reset()
 	}
+	b.rows = 0
+	b.Sel = nil
 }
 
-// Row returns tuple i boxed as values.
+// Row returns logical tuple i boxed as values.
 func (b *Batch) Row(i int) []Value {
+	if b.Sel != nil {
+		i = int(b.Sel[i])
+	}
 	out := make([]Value, len(b.Vecs))
 	for c, v := range b.Vecs {
 		out[c] = v.Value(i)
@@ -270,9 +351,15 @@ func (b *Batch) Row(i int) []Value {
 	return out
 }
 
-// ByteSize reports the wire size of the whole batch.
+// ByteSize reports the wire size of the batch's logical rows.
 func (b *Batch) ByteSize() int64 {
 	var n int64
+	if b.Sel != nil {
+		for _, v := range b.Vecs {
+			n += v.ByteSizeSel(b.Sel)
+		}
+		return n
+	}
 	for _, v := range b.Vecs {
 		n += v.ByteSize(0, v.Len())
 	}
@@ -280,10 +367,12 @@ func (b *Batch) ByteSize() int64 {
 }
 
 // Table is an in-memory columnar relation: the data plane the simulated
-// storage charges I/O time against.
+// storage charges I/O time against. Like Batch, it carries an explicit
+// row count so zero-column (and count-only) relations stay well-defined.
 type Table struct {
 	Schema *Schema
 	cols   []*Vector
+	rows   int
 }
 
 // NewTable returns an empty table.
@@ -296,12 +385,7 @@ func NewTable(s *Schema) *Table {
 }
 
 // Rows reports the row count.
-func (t *Table) Rows() int {
-	if len(t.cols) == 0 {
-		return 0
-	}
-	return t.cols[0].Len()
-}
+func (t *Table) Rows() int { return t.rows }
 
 // Column returns the i'th column vector (shared, not copied).
 func (t *Table) Column(i int) *Vector { return t.cols[i] }
@@ -314,21 +398,30 @@ func (t *Table) AppendRow(vals ...Value) {
 	for i, v := range vals {
 		t.cols[i].Append(v)
 	}
+	t.rows++
 }
 
-// AppendBatch bulk-appends all rows of b column-wise.
+// AppendBatch bulk-appends all logical rows of b column-wise, resolving
+// any selection b carries.
 func (t *Table) AppendBatch(b *Batch) {
 	if len(b.Vecs) != len(t.cols) {
 		panic(fmt.Sprintf("table: AppendBatch with %d columns into %d", len(b.Vecs), len(t.cols)))
 	}
-	for i, v := range b.Vecs {
-		t.cols[i].AppendSlice(v, 0, v.Len())
+	if b.Sel != nil {
+		for i, v := range b.Vecs {
+			t.cols[i].AppendGather(v, b.Sel)
+		}
+	} else {
+		for i, v := range b.Vecs {
+			t.cols[i].AppendSlice(v, 0, v.Len())
+		}
 	}
+	t.rows += b.Rows()
 }
 
 // Slice returns a batch viewing rows [lo, hi) without copying.
 func (t *Table) Slice(lo, hi int) *Batch {
-	b := &Batch{Schema: t.Schema, Vecs: make([]*Vector, len(t.cols))}
+	b := &Batch{Schema: t.Schema, Vecs: make([]*Vector, len(t.cols)), rows: hi - lo}
 	for i, c := range t.cols {
 		b.Vecs[i] = c.Slice(lo, hi)
 	}
