@@ -55,10 +55,9 @@ type HashAgg struct {
 	aggs    []aggCol         // per spec: columnar state
 	order   []int32          // group ids in output order
 	next    int
-	keyBuf  []byte       // reused per-row key encoding buffer
-	gids    []int32      // reused per-batch group-id vector
-	keyCols []keyCol     // reused per-batch resolved group columns
-	scratch *table.Batch // reusable compaction buffer for selected inputs
+	keyBuf  []byte   // reused per-row key encoding buffer
+	gids    []int32  // reused per-batch group-id vector
+	keyCols []keyCol // reused per-batch resolved group columns
 }
 
 // keyCol is a group column with its physical class and raw slices
@@ -144,17 +143,9 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 		if b == nil {
 			break
 		}
-		if b.Sel != nil {
-			// The grouping and update loops run over whole vectors: a
-			// deferred upstream selection is compacted once, here at the
-			// aggregation boundary.
-			if h.scratch == nil {
-				h.scratch = table.NewBatch(h.In.Schema(), b.Rows())
-			}
-			h.scratch.Reset()
-			h.scratch.AppendBatch(b)
-			b = h.scratch
-		}
+		// A deferred upstream selection is read through, not compacted:
+		// the key encoder and the typed update loops index the physical
+		// vectors via Batch.Sel, so the last scan-side gather is gone.
 		ctx.ChargeRows(b.Rows()*max(1, len(h.Aggs)), ctx.Costs.AggCyclesPerRow)
 		h.assignGroups(b)
 		for _, gid := range h.gids {
@@ -164,7 +155,7 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 			if a.Func == Count {
 				continue
 			}
-			h.aggs[ai].update(b.Vecs[a.Col], h.gids)
+			h.aggs[ai].update(b.Vecs[a.Col], h.gids, b.Sel)
 		}
 	}
 	h.order = make([]int32, len(h.keys))
@@ -183,13 +174,16 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 	return h.In.Close(ctx)
 }
 
-// assignGroups fills h.gids with the group id of every row in b, creating
-// groups on first sight. The encoded key is injective: 8 fixed bytes per
-// int/float column, uvarint length prefix + bytes per string column — two
-// distinct key tuples can never encode to the same byte string (the old
-// Value.String()+"\x00" scheme collided on strings containing NUL).
+// assignGroups fills h.gids with the group id of every logical row of b
+// (h.gids[k] belongs to selected row k when a selection rides the batch),
+// creating groups on first sight. The encoded key is injective: 8 fixed
+// bytes per int/float column, uvarint length prefix + bytes per string
+// column — two distinct key tuples can never encode to the same byte
+// string (the old Value.String()+"\x00" scheme collided on strings
+// containing NUL).
 func (h *HashAgg) assignGroups(b *table.Batch) {
 	n := b.Rows()
+	sel := b.Sel
 	if cap(h.gids) < n {
 		h.gids = make([]int32, n)
 	}
@@ -204,7 +198,11 @@ func (h *HashAgg) assignGroups(b *table.Batch) {
 		v := b.Vecs[g]
 		cols[ci] = keyCol{phys: v.Type.Physical(), i: v.I, f: v.F, s: v.S}
 	}
-	for r := 0; r < n; r++ {
+	for k := 0; k < n; k++ {
+		r := k
+		if sel != nil {
+			r = int(sel[k])
+		}
 		buf := h.keyBuf[:0]
 		for _, c := range cols {
 			switch c.phys {
@@ -223,7 +221,7 @@ func (h *HashAgg) assignGroups(b *table.Batch) {
 		if !ok {
 			gid = h.newGroup(b, r, string(buf))
 		}
-		h.gids[r] = gid
+		h.gids[k] = gid
 	}
 }
 
@@ -267,11 +265,17 @@ func (c *aggCol) grow() {
 }
 
 // update folds one input column into the per-group state, one typed loop
-// per physical class with no Value boxing.
-func (c *aggCol) update(v *table.Vector, gids []int32) {
+// per physical class with no Value boxing. gids[k] is the group of logical
+// row k; with a deferred selection the physical row is sel[k], read
+// through in place rather than pre-gathered.
+func (c *aggCol) update(v *table.Vector, gids []int32, sel []int32) {
 	switch c.phys {
 	case table.PhysInt:
-		for r, gid := range gids {
+		for k, gid := range gids {
+			r := k
+			if sel != nil {
+				r = int(sel[k])
+			}
 			x := v.I[r]
 			c.sumI[gid] += x
 			c.sumF[gid] += float64(x)
@@ -285,7 +289,11 @@ func (c *aggCol) update(v *table.Vector, gids []int32) {
 			}
 		}
 	case table.PhysFloat:
-		for r, gid := range gids {
+		for k, gid := range gids {
+			r := k
+			if sel != nil {
+				r = int(sel[k])
+			}
 			x := v.F[r]
 			c.sumF[gid] += x
 			if !c.seen[gid] {
@@ -298,7 +306,11 @@ func (c *aggCol) update(v *table.Vector, gids []int32) {
 			}
 		}
 	default:
-		for r, gid := range gids {
+		for k, gid := range gids {
+			r := k
+			if sel != nil {
+				r = int(sel[k])
+			}
 			x := v.S[r]
 			if !c.seen[gid] {
 				c.minS[gid], c.maxS[gid] = x, x
@@ -418,7 +430,6 @@ func (h *HashAgg) Close(ctx *Ctx) error {
 	h.aggs = nil
 	h.gids = nil
 	h.keyCols = nil
-	h.scratch = nil
 	return nil
 }
 

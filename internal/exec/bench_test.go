@@ -8,6 +8,7 @@ import (
 	"energydb/internal/energy"
 	"energydb/internal/hw"
 	"energydb/internal/sim"
+	"energydb/internal/storage"
 	"energydb/internal/table"
 )
 
@@ -166,4 +167,73 @@ func BenchmarkSortInt(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+}
+
+// benchScan runs one simulated column scan of tab at the given DOP on a
+// fresh multi-core rig and returns the simulated elapsed seconds. Unlike
+// the kernel benchmarks above, this path keeps the discrete-event engine
+// live (charges are real), because the morsel/merge machinery under test
+// *is* simulator bookkeeping plus real block decoding.
+func benchScan(b *testing.B, tab *table.Table, dop int) float64 {
+	b.Helper()
+	// Rig construction and placement encoding are per-iteration setup, not
+	// the scan under measurement: keep them off the timer.
+	b.StopTimer()
+	eng := sim.NewEngine()
+	meter := energy.NewMeter()
+	spec := hw.ScanCPU2008()
+	spec.Cores = 8
+	cpu := hw.NewCPU(eng, meter, "cpu", spec)
+	devs := make([]storage.BlockDevice, 3)
+	for i := range devs {
+		devs[i] = hw.NewSSD(eng, meter, fmt.Sprintf("ssd%d", i), hw.FlashSSD2008())
+	}
+	vol := storage.NewVolume("vol", storage.Striped, 16<<10, devs)
+	st, err := PlaceColumnMajor(tab, vol, 1, 4096, rawCodecs(len(tab.Schema.Cols)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Go("query", func(p *sim.Proc) {
+		ctx := NewCtx(p, cpu)
+		newPred := func() Pred {
+			return &ColConst{Col: 1, Op: Lt, Val: table.IntVal(500)}
+		}
+		var op Operator
+		if dop <= 1 {
+			op = NewColumnScan(st, []int{0, 1}, []int{0, 1}, newPred())
+		} else {
+			op = parallelColScan(st, []int{0, 1}, []int{0, 1}, newPred, dop, 0)
+		}
+		n, err := RowCount(ctx, op)
+		if err != nil {
+			b.Error(err)
+		}
+		if n == 0 {
+			b.Error("no rows passed")
+		}
+	})
+	b.StartTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Now()
+}
+
+// BenchmarkColumnScan measures the full simulated scan path (placement
+// decode + predicate + event bookkeeping) at DOP 1, 4 and 8. ns/op is the
+// real cost of simulating the scan; the sim_ms metric is the *simulated*
+// elapsed time, which is what shrinks with DOP.
+func BenchmarkColumnScan(b *testing.B) {
+	tab := benchInts(benchRows)
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				simSecs = benchScan(b, tab, dop)
+			}
+			b.ReportMetric(simSecs*1e3, "sim_ms")
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
 }

@@ -1,0 +1,230 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/sim"
+	"energydb/internal/table"
+)
+
+// DefaultMorselBlocks is the morsel size in placement blocks. With the
+// default 8192-row blocks a morsel is ~32k rows — large enough that claim
+// overhead vanishes, small enough that workers finishing early can steal
+// work from a skewed tail.
+const DefaultMorselBlocks = 4
+
+// Morsels is a shared work dispenser for morsel-driven parallel scans: the
+// block range [0, total) is handed out in fixed-size chunks ("morsels") to
+// whichever scan fragment asks next. Fragments that hit cheap morsels
+// (sparse predicates, well-compressed blocks) simply come back sooner and
+// claim more — dynamic load balancing without a scheduler.
+//
+// All claims happen from simulated processes, which the sim engine runs
+// one at a time with channel handoffs between them, so no locking is
+// needed and the claim order is deterministic.
+type Morsels struct {
+	total int // blocks to hand out
+	size  int // blocks per morsel
+	next  int
+}
+
+// NewMorsels returns a dispenser over [0, totalBlocks) handing out
+// morselBlocks blocks per claim (<= 0 selects DefaultMorselBlocks).
+func NewMorsels(totalBlocks, morselBlocks int) *Morsels {
+	if morselBlocks <= 0 {
+		morselBlocks = DefaultMorselBlocks
+	}
+	return &Morsels{total: totalBlocks, size: morselBlocks}
+}
+
+// Claim hands out the next unclaimed block range [lo, hi); ok reports
+// whether any work remained.
+func (m *Morsels) Claim() (lo, hi int, ok bool) {
+	if m.next >= m.total {
+		return 0, 0, false
+	}
+	lo = m.next
+	hi = lo + m.size
+	if hi > m.total {
+		hi = m.total
+	}
+	m.next = hi
+	return lo, hi, true
+}
+
+// Reset makes all blocks claimable again (for operator re-open).
+func (m *Morsels) Reset() { m.next = 0 }
+
+// parItem is one message from a scan fragment to the merge point.
+type parItem struct {
+	batch *table.Batch // nil on done/error items
+	w     int          // producing worker index
+	err   error
+	done  bool // worker exited (err, if any, rides along)
+}
+
+// Parallel is the exchange/merge operator of the morsel-driven scan path:
+// it runs DOP fragment operators, each in its own simulated process, and
+// merges their batches into one stream in completion order.
+//
+// Contract. Every fragment is a scan over the same stored table whose
+// Morsels field points at one shared dispenser, so together the fragments
+// cover each block exactly once; which fragment produces which block is
+// decided dynamically but deterministically (the engine interleaves
+// processes in a fixed order). Each fragment charges CPU work through its
+// own process, so up to DOP cores of the shared hw.CPU are busy at once —
+// elapsed time shrinks toward cpu/DOP while power rises by DOP × active
+// watts, which is exactly the race-to-idle trade the energy tests measure.
+//
+// Batch validity and selection vectors are preserved across the merge
+// without a gather: a worker that has produced a batch parks until the
+// consumer's *next* Next (or Close) acknowledges it, so the fragment may
+// not reuse its buffers while the batch is live, and a deferred selection
+// (Batch.Sel) rides through untouched. At most DOP batches are therefore
+// in flight, bounding memory. Rows arrive in completion order, not table
+// order — exactly the guarantee scans already give (blocks complete in
+// I/O order), so every downstream operator works unchanged.
+type Parallel struct {
+	Frags []Operator // fragments sharing one Morsels dispenser
+	Queue *Morsels   // the shared dispenser; reset on Open
+
+	schema  *table.Schema
+	out     *sim.Mailbox[parItem]
+	acks    []*sim.Mailbox[bool] // per worker: true = consumed, false = cancel
+	live    int                  // workers not yet exited
+	last    int                  // worker owed an ack at the next Next, or -1
+	started bool
+	failed  error
+}
+
+// NewParallel builds the merge over fragments that share queue. The
+// fragments must produce identical schemas; each must be exclusively owned
+// (fragments run concurrently and may not share mutable state such as
+// predicate scratch).
+func NewParallel(frags []Operator, queue *Morsels) *Parallel {
+	if len(frags) == 0 {
+		panic("exec: Parallel needs at least one fragment")
+	}
+	return &Parallel{Frags: frags, Queue: queue, schema: frags[0].Schema()}
+}
+
+// Schema implements Operator.
+func (s *Parallel) Schema() *table.Schema { return s.schema }
+
+// Open implements Operator. Workers start lazily on first Next so that an
+// Open/Close pair without iteration (and re-opens by nested-loop joins)
+// spawns no processes.
+func (s *Parallel) Open(ctx *Ctx) error {
+	if s.Queue != nil {
+		s.Queue.Reset()
+	}
+	s.started = false
+	s.live = 0
+	s.last = -1
+	s.failed = nil
+	return nil
+}
+
+func (s *Parallel) start(ctx *Ctx) {
+	s.started = true
+	eng := ctx.P.Engine()
+	s.out = sim.NewMailbox[parItem](eng, "parallel:out")
+	s.acks = make([]*sim.Mailbox[bool], len(s.Frags))
+	s.live = len(s.Frags)
+	for i := range s.Frags {
+		i, frag := i, s.Frags[i]
+		s.acks[i] = sim.NewMailbox[bool](eng, fmt.Sprintf("parallel:ack%d", i))
+		eng.Go(fmt.Sprintf("parallel:w%d", i), func(wp *sim.Proc) {
+			// Each worker executes its fragment against a private context
+			// whose process is the worker itself: CPU charges land on a
+			// core of the shared CPU concurrently with the other workers.
+			wctx := *ctx
+			wctx.P = wp
+			err := frag.Open(&wctx)
+			if err == nil {
+				for {
+					var b *table.Batch
+					b, err = frag.Next(&wctx)
+					if err != nil || b == nil {
+						break
+					}
+					if b.Rows() == 0 {
+						continue
+					}
+					s.out.Put(parItem{batch: b, w: i})
+					if !s.acks[i].Get(wp) {
+						break // consumer closed early
+					}
+				}
+				if cerr := frag.Close(&wctx); err == nil {
+					err = cerr
+				}
+			}
+			s.out.Put(parItem{w: i, err: err, done: true})
+		})
+	}
+}
+
+// Next implements Operator. It releases the previously returned batch back
+// to its producing worker, then blocks for the next batch from any worker.
+// A fragment error fails fast: the sibling workers are cancelled and
+// drained before the error surfaces, so a doomed query does not scan the
+// rest of the table first.
+func (s *Parallel) Next(ctx *Ctx) (*table.Batch, error) {
+	if !s.started {
+		s.start(ctx)
+	}
+	if s.last >= 0 {
+		s.acks[s.last].Put(true)
+		s.last = -1
+	}
+	for s.live > 0 {
+		it := s.out.Get(ctx.P)
+		if it.done {
+			s.live--
+			if it.err != nil && s.failed == nil {
+				s.failed = it.err
+			}
+			if s.failed != nil {
+				s.cancelWorkers(ctx)
+				return nil, s.failed
+			}
+			continue
+		}
+		s.last = it.w
+		return it.batch, nil
+	}
+	return nil, s.failed
+}
+
+// cancelWorkers tells every outstanding worker to stop and drains them to
+// exit, leaving no process blocked in the engine.
+func (s *Parallel) cancelWorkers(ctx *Ctx) {
+	if s.last >= 0 {
+		s.acks[s.last].Put(false)
+		s.last = -1
+	}
+	for s.live > 0 {
+		it := s.out.Get(ctx.P)
+		if it.done {
+			s.live--
+			if it.err != nil && s.failed == nil {
+				s.failed = it.err
+			}
+			continue
+		}
+		s.acks[it.w].Put(false)
+	}
+}
+
+// Close implements Operator: it cancels outstanding workers and drains
+// them, so an early close (LIMIT, error upstream) leaves no process
+// blocked in the engine.
+func (s *Parallel) Close(ctx *Ctx) error {
+	if !s.started {
+		return nil
+	}
+	s.cancelWorkers(ctx)
+	s.started = false
+	return s.failed
+}

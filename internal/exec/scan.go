@@ -5,6 +5,7 @@ import (
 
 	"energydb/internal/buffer"
 	"energydb/internal/sim"
+	"energydb/internal/storage"
 	"energydb/internal/table"
 )
 
@@ -17,23 +18,29 @@ import (
 // while the consumer decodes and processes block b, so elapsed time tends
 // to max(I/O, CPU) — the overlap the paper's Figure 2 assumes ("by
 // overlapping disk with CPU time, the total time is 10 secs").
+//
+// A scan owns the whole table by default. When Morsels points at a shared
+// dispenser the scan is one fragment of a parallel scan: its reader claims
+// block ranges from the dispenser instead, and together the fragments
+// under one Parallel operator cover every block exactly once.
 type ColumnScan struct {
 	ST       *StoredTable
-	ReadCols []int // source column indexes fetched (projection ∪ predicate columns)
-	Emit     []int // positions within ReadCols forming the output row
-	Pred     Pred  // evaluated over the ReadCols batch; nil = all rows
-	Window   int   // pipeline depth in blocks (default 2)
+	ReadCols []int    // source column indexes fetched (projection ∪ predicate columns)
+	Emit     []int    // positions within ReadCols forming the output row
+	Pred     Pred     // evaluated over the ReadCols batch; nil = all rows
+	Window   int      // pipeline depth in blocks (default 2)
+	Morsels  *Morsels // shared block dispenser; nil = scan all blocks
 
-	schema   *table.Schema
-	readSch  *table.Schema
-	nblocks  int
-	consumed int
-	started  bool
-	cancel   bool
-	ready    *sim.Mailbox[int]
-	credits  *sim.Mailbox[int]
-	sel      []int32      // reusable selection vector
-	view     *table.Batch // reusable output view batch
+	schema  *table.Schema
+	readSch *table.Schema
+	nblocks int
+	eof     bool
+	started bool
+	cancel  bool
+	ready   *sim.Mailbox[int]
+	credits *sim.Mailbox[int]
+	sel     []int32      // reusable selection vector
+	view    *table.Batch // reusable output view batch
 }
 
 // NewColumnScan builds a scan; emit positions index into readCols. A scan
@@ -65,10 +72,12 @@ func NewColumnScan(st *StoredTable, readCols, emit []int, pred Pred) *ColumnScan
 // Schema implements Operator.
 func (s *ColumnScan) Schema() *table.Schema { return s.schema }
 
-// Open implements Operator.
+// Open implements Operator. A shared Morsels dispenser is NOT reset here:
+// sibling fragments claim from the same queue and the Parallel operator
+// owns its reset.
 func (s *ColumnScan) Open(ctx *Ctx) error {
 	s.nblocks = s.ST.NumBlocks()
-	s.consumed = 0
+	s.eof = false
 	s.started = false
 	s.cancel = false
 	return nil
@@ -76,50 +85,42 @@ func (s *ColumnScan) Open(ctx *Ctx) error {
 
 func (s *ColumnScan) start(ctx *Ctx) {
 	s.started = true
-	w := s.Window
-	if w <= 0 {
-		w = 2
-	}
-	eng := ctx.P.Engine()
-	s.ready = sim.NewMailbox[int](eng, "colscan:ready")
-	s.credits = sim.NewMailbox[int](eng, "colscan:credits")
-	for i := 0; i < w; i++ {
-		s.credits.Put(1)
-	}
 	st := s.ST
-	nb := s.nblocks
-	eng.Go(fmt.Sprintf("colscan:%s", st.Tab.Schema.Name), func(rp *sim.Proc) {
-		for b := 0; b < nb; b++ {
-			s.credits.Get(rp)
-			if s.cancel {
-				return
-			}
-			// Fetch all projected columns' pages for this block in one
-			// parallel batch so every device works at once.
-			var pages []int64
+	morsels := s.Morsels
+	if morsels == nil {
+		// Serial scan: one private morsel covering every block keeps the
+		// reader streaming blocks in order exactly as before.
+		morsels = NewMorsels(s.nblocks, max(1, s.nblocks))
+	}
+	// Fetch all projected columns' pages for each block in one parallel
+	// batch so every device works at once.
+	s.ready, s.credits = startMorselReader(ctx, fmt.Sprintf("colscan:%s", st.Tab.Schema.Name),
+		s.Window, st.Vol, morsels, func() bool { return s.cancel },
+		func(b int, pages []int64) []int64 {
 			for _, ci := range s.ReadCols {
 				blk := st.cols[ci][b]
-				lo, hi := st.Vol.PageSpan(blk.byteLo, blk.byteHi)
-				for pg := lo; pg < hi; pg++ {
+				plo, phi := st.Vol.PageSpan(blk.byteLo, blk.byteHi)
+				for pg := plo; pg < phi; pg++ {
 					pages = append(pages, pg)
 				}
 			}
-			st.Vol.ReadPages(rp, pages)
-			s.ready.Put(b)
-		}
-	})
+			return pages
+		})
 }
 
 // Next implements Operator.
 func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
-	if s.consumed >= s.nblocks {
+	if s.eof {
 		return nil, nil
 	}
 	if !s.started {
 		s.start(ctx)
 	}
 	b := s.ready.Get(ctx.P)
-	s.consumed++
+	if b < 0 {
+		s.eof = true
+		return nil, nil
+	}
 	s.credits.Put(1)
 
 	read := table.NewBatch(s.readSch, 0)
@@ -149,7 +150,7 @@ func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
 
 // Close implements Operator. Closing early cancels the reader process.
 func (s *ColumnScan) Close(ctx *Ctx) error {
-	if s.started && s.consumed < s.nblocks {
+	if s.started && !s.eof {
 		s.cancel = true
 		// Unblock the reader if it is waiting for credit, and release any
 		// blocks it already fetched.
@@ -171,14 +172,20 @@ func (s *ColumnScan) Close(ctx *Ctx) error {
 // Window blocks ahead with all devices in parallel, bypassing the buffer
 // pool (big scans should not pollute it). With Window == 0 pages go one
 // at a time through ctx.Pool when present — the point-lookup path.
+//
+// When Morsels points at a shared dispenser the scan is one fragment of a
+// parallel scan (see Parallel): its reader claims block ranges from the
+// dispenser and prefetches them with a Window-deep credit pipeline.
 type RowScan struct {
-	ST     *StoredTable
-	Emit   []int // source schema positions forming the output row
-	Pred   Pred  // evaluated over the full source batch; nil = all rows
-	Window int
+	ST      *StoredTable
+	Emit    []int // source schema positions forming the output row
+	Pred    Pred  // evaluated over the full source batch; nil = all rows
+	Window  int
+	Morsels *Morsels // shared block dispenser; nil = scan all blocks
 
 	schema  *table.Schema
 	next    int
+	eof     bool
 	started bool
 	cancel  bool
 	ready   *sim.Mailbox[int]
@@ -204,12 +211,73 @@ func NewRowScan(st *StoredTable, emit []int, pred Pred) *RowScan {
 // Schema implements Operator.
 func (s *RowScan) Schema() *table.Schema { return s.schema }
 
-// Open implements Operator.
+// Open implements Operator. As with ColumnScan, a shared Morsels
+// dispenser is reset by the owning Parallel operator, not here.
 func (s *RowScan) Open(ctx *Ctx) error {
 	s.next = 0
+	s.eof = false
 	s.started = false
 	s.cancel = false
 	return nil
+}
+
+// startMorsels launches the fragment reader: it claims morsels from the
+// shared dispenser and prefetches their blocks under a Window-deep credit
+// pipeline, bypassing the buffer pool like the streaming reader.
+func (s *RowScan) startMorsels(ctx *Ctx) {
+	s.started = true
+	st := s.ST
+	s.ready, s.credits = startMorselReader(ctx, fmt.Sprintf("rowscan:%s", st.Tab.Schema.Name),
+		s.Window, st.Vol, s.Morsels, func() bool { return s.cancel },
+		func(b int, pages []int64) []int64 {
+			blk := st.rows[b]
+			plo, phi := st.Vol.PageSpan(blk.byteLo, blk.byteHi)
+			for pg := plo; pg < phi; pg++ {
+				pages = append(pages, pg)
+			}
+			return pages
+		})
+}
+
+// startMorselReader wires the fragment-reader pipeline shared by both
+// scans — a ready and a credits mailbox with window credits primed
+// (window <= 0 selects 2) and a reader process — and runs the protocol:
+// claim a morsel, gate each of its blocks on a pipeline credit, collect
+// the block's pages via pageList, fetch them in one vectored request and
+// announce the block on ready; when the dispenser runs dry a -1 sentinel
+// marks end of stream. Cancellation is checked after every credit, so a
+// closing consumer can always release a parked reader with a single
+// credit.
+func startMorselReader(ctx *Ctx, name string, window int, vol *storage.Volume, morsels *Morsels, cancelled func() bool, pageList func(b int, pages []int64) []int64) (ready, credits *sim.Mailbox[int]) {
+	if window <= 0 {
+		window = 2
+	}
+	eng := ctx.P.Engine()
+	ready = sim.NewMailbox[int](eng, name+":ready")
+	credits = sim.NewMailbox[int](eng, name+":credits")
+	for i := 0; i < window; i++ {
+		credits.Put(1)
+	}
+	eng.Go(name, func(rp *sim.Proc) {
+		var pages []int64
+		for {
+			lo, hi, ok := morsels.Claim()
+			if !ok {
+				break
+			}
+			for b := lo; b < hi; b++ {
+				credits.Get(rp)
+				if cancelled() {
+					return
+				}
+				pages = pageList(b, pages[:0])
+				vol.ReadPages(rp, pages)
+				ready.Put(b)
+			}
+		}
+		ready.Put(-1) // end of stream
+	})
+	return ready, credits
 }
 
 func (s *RowScan) start(ctx *Ctx) {
@@ -249,24 +317,43 @@ func (s *RowScan) start(ctx *Ctx) {
 
 // Next implements Operator.
 func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
-	if s.next >= len(s.ST.rows) {
-		return nil, nil
-	}
-	var blk block
-	if s.Window > 0 {
+	var bi int // placement block index (errors name the on-disk block)
+	switch {
+	case s.Morsels != nil:
+		if s.eof {
+			return nil, nil
+		}
+		if !s.started {
+			s.startMorsels(ctx)
+		}
+		bi = s.ready.Get(ctx.P)
+		if bi < 0 {
+			s.eof = true
+			return nil, nil
+		}
+		s.credits.Put(1)
+		s.next++
+	case s.Window > 0:
+		if s.next >= len(s.ST.rows) {
+			return nil, nil
+		}
 		if !s.started {
 			s.start(ctx)
 		}
 		// Blocks arrive in I/O completion order; row order within the
 		// relation is not semantically meaningful.
-		blk = s.ST.rows[s.ready.Get(ctx.P)]
+		bi = s.ready.Get(ctx.P)
 		s.next++
-	} else {
-		blk = s.ST.rows[s.next]
+	default:
+		if s.next >= len(s.ST.rows) {
+			return nil, nil
+		}
+		bi = s.next
 		s.next++
 	}
+	blk := s.ST.rows[bi]
 
-	if s.Window <= 0 {
+	if s.Morsels == nil && s.Window <= 0 {
 		// Unpipelined path: fetch pages through the pool when attached.
 		pageLo, pageHi := s.ST.Vol.PageSpan(blk.byteLo, blk.byteHi)
 		for pg := pageLo; pg < pageHi; pg++ {
@@ -287,12 +374,12 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 
 	raw, err := s.ST.RowCodec.Decode(nil, blk.enc)
 	if err != nil {
-		return nil, fmt.Errorf("exec: row block %d: %w", s.next-1, err)
+		return nil, fmt.Errorf("exec: row block %d: %w", bi, err)
 	}
 	ctx.ChargeBytes(blk.rawSize, s.ST.RowCodec.Cost().DecodeCyclesPerByte)
 	full, err := table.DecodeRows(s.ST.Tab.Schema, raw, blk.hi-blk.lo)
 	if err != nil {
-		return nil, fmt.Errorf("exec: row block %d: %w", s.next-1, err)
+		return nil, fmt.Errorf("exec: row block %d: %w", bi, err)
 	}
 	// Row stores pay tuple-parsing cost on top of the scan work.
 	ctx.ChargeBytes(blk.rawSize, ctx.Costs.ScanCyclesPerByte+ctx.Costs.RowParseCyclesPerByte)
@@ -301,11 +388,15 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 }
 
 // Close implements Operator. An early close lets the streaming reader run
-// out on its own (it holds no consumer-owned resources); remaining ready
+// out on its own (it holds no consumer-owned resources); a morsel-mode
+// reader blocked on credits is released explicitly. Remaining ready
 // notifications are drained.
 func (s *RowScan) Close(ctx *Ctx) error {
 	s.cancel = true
 	if s.started {
+		if s.Morsels != nil && !s.eof {
+			s.credits.Put(1)
+		}
 		for {
 			if _, ok := s.ready.TryGet(); !ok {
 				break

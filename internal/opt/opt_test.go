@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -453,5 +454,95 @@ func TestCostScore(t *testing.T) {
 	d := c.Add(Cost{Seconds: 1, Joules: 1, MemBytes: 5})
 	if d.Seconds != 3 || d.Joules != 11 || d.MemBytes != 5 {
 		t.Fatalf("add: %+v", d)
+	}
+}
+
+// TestParallelScanDOPChoice: on a multi-core Env a CPU-bound scan should
+// be planned parallel under MinTime (elapsed falls toward cpu/dop) but
+// serial under MinEnergy (the joule account is flat in DOP, so the
+// per-worker startup overhead makes dop=1 strictly cheapest). The chosen
+// parallel plan must execute to the same result as the serial one.
+func TestParallelScanDOPChoice(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	w.env.Cores = 8
+	// Model storage as fast enough (bandwidth and per-page latency) that
+	// the scan is CPU-bound in the cost model; execution correctness below
+	// is independent of this.
+	w.env.ScanBW *= 8
+	w.env.PageLatency /= 50
+
+	q := &Query{
+		Tables: []string{"f"},
+		Rels:   map[string]string{"f": "fact"},
+		Preds: []PredIR{
+			{Left: col("f", "f_price"), Op: exec.Lt, Val: table.FloatVal(900)},
+		},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_price"}}, As: "p"},
+		},
+		Limit: -1,
+	}
+	fast, err := Optimize(q, w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fast.Explain(), "dop=") {
+		t.Fatalf("MinTime plan is serial on an 8-core env:\n%s", fast.Explain())
+	}
+	lean, err := Optimize(q, w.cat, w.env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lean.Explain(), "dop=") {
+		t.Fatalf("MinEnergy plan went parallel (joules should be flat in DOP):\n%s", lean.Explain())
+	}
+	if fast.Cost().Seconds >= lean.Cost().Seconds {
+		t.Fatalf("parallel plan models no speedup: %v vs %v", fast.Cost(), lean.Cost())
+	}
+
+	// Both plans must produce the same rows (order-insensitive: the
+	// parallel scan merges blocks in completion order).
+	sum := func(tab *table.Table) (int, float64, float64) {
+		var ks, ps float64
+		for i := 0; i < tab.Rows(); i++ {
+			ks += float64(tab.Column(0).I[i])
+			ps += tab.Column(1).F[i]
+		}
+		return tab.Rows(), ks, ps
+	}
+	gotN, gotK, gotP := sum(w.execute(t, fast))
+	wantN, wantK, wantP := sum(w.execute(t, lean))
+	// The float checksum is summed in arrival order, which differs between
+	// the serial and merged streams — equal up to summation rounding.
+	if gotN != wantN || gotK != wantK || math.Abs(gotP-wantP) > math.Abs(wantP)*1e-12 {
+		t.Fatalf("parallel result (%d, %v, %v) != serial (%d, %v, %v)",
+			gotN, gotK, gotP, wantN, wantK, wantP)
+	}
+}
+
+// TestParallelScanCostModel pins the dop sweep arithmetic: elapsed
+// approaches max(io, cpu/dop) while joules only grow by startup overhead.
+func TestParallelScanCostModel(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	w.env.Cores = 8
+	w.env.ScanBW *= 8
+	w.env.PageLatency /= 50
+	o := &optimizer{q: &Query{}, cat: w.cat, env: w.env, obj: MinTime}
+	pl, err := w.cat.Get("fact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Variants[0].ST
+	c1 := o.scanCost(st, []int{0, 2}, float64(pl.Stats.Rows), 1, 1)
+	c4 := o.scanCost(st, []int{0, 2}, float64(pl.Stats.Rows), 1, 4)
+	if c4.Seconds >= c1.Seconds {
+		t.Fatalf("dop=4 models no speedup: %v vs %v", c4, c1)
+	}
+	if c4.Joules <= c1.Joules {
+		t.Fatalf("dop=4 models an energy win out of nowhere: %v vs %v", c4, c1)
+	}
+	if c4.Joules > c1.Joules*1.5 {
+		t.Fatalf("dop=4 startup overhead too large: %v vs %v", c4, c1)
 	}
 }

@@ -213,8 +213,18 @@ func (o *optimizer) requiredCols(alias string) []string {
 	return cols
 }
 
-// bestScan picks the cheapest placement variant for alias under the
-// objective, with local predicates pushed down.
+// parallelStartupCycles is the modelled per-extra-worker overhead of a
+// parallel scan (spawning the fragment process, morsel-queue traffic, the
+// merge hop). It is deliberately small but non-zero: under MinTime a
+// CPU-bound scan still wins big from parallelism, while under MinEnergy —
+// where the marginal-joule account is otherwise flat in DOP (the same
+// core-seconds at the same watts) — the overhead makes the serial plan the
+// strictly cheapest, matching the paper's observation that parallelism
+// buys time, not marginal energy.
+const parallelStartupCycles = 200e3
+
+// bestScan picks the cheapest placement variant and degree of parallelism
+// for alias under the objective, with local predicates pushed down.
 func (o *optimizer) bestScan(alias string) (PhysNode, error) {
 	pl := o.place[alias]
 	needed := o.requiredCols(alias)
@@ -238,31 +248,64 @@ func (o *optimizer) bestScan(alias string) (PhysNode, error) {
 			sel *= predSelectivity(p, o.colStats(alias, p.Left.Col))
 		}
 		card := float64(pl.Stats.Rows) * sel
-		cost := o.scanCost(v.ST, read, float64(pl.Stats.Rows), len(preds))
-		cand := &PScan{
-			Alias: alias, Rel: o.q.Rels[alias], Variant: v,
-			Read: read, Emit: emit, Preds: preds,
-			card: card, cost: cost,
-		}
-		cand.cols = make([]ColRef, len(needed))
-		for i, n := range needed {
-			cand.cols[i] = ColRef{Table: alias, Col: n}
-		}
-		if best == nil || cost.Score(o.obj) < bestScore {
-			best = cand
-			bestScore = cost.Score(o.obj)
+		for _, dop := range o.dopCandidates(v.ST, len(read)) {
+			cost := o.scanCost(v.ST, read, float64(pl.Stats.Rows), len(preds), dop)
+			cand := &PScan{
+				Alias: alias, Rel: o.q.Rels[alias], Variant: v,
+				Read: read, Emit: emit, Preds: preds, DOP: dop,
+				card: card, cost: cost,
+			}
+			cand.cols = make([]ColRef, len(needed))
+			for i, n := range needed {
+				cand.cols[i] = ColRef{Table: alias, Col: n}
+			}
+			if best == nil || cost.Score(o.obj) < bestScore {
+				best = cand
+				bestScore = cost.Score(o.obj)
+			}
 		}
 	}
 	return best, nil
 }
 
-// scanCost prices a scan of the given columns of st. A column scan that
-// reads no columns (count-only plan) touches neither the volume nor the
-// data: it emits block cardinality from placement metadata for free.
-func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms int) Cost {
+// dopCandidates enumerates the degrees of parallelism worth pricing for a
+// scan: powers of two up to the core count (plus the core count itself),
+// capped by the morsel count — morsels are the unit of work distribution,
+// so a worker beyond ceil(blocks/morsel) can never claim anything and is
+// pure startup overhead the cpu/dop model would wrongly credit. Count-only
+// column scans read nothing and stay serial.
+func (o *optimizer) dopCandidates(st *exec.StoredTable, readCols int) []int {
+	maxDop := o.env.Cores
+	nm := (st.NumBlocks() + exec.DefaultMorselBlocks - 1) / exec.DefaultMorselBlocks
+	if nm < maxDop {
+		maxDop = nm
+	}
+	if maxDop <= 1 || (st.Layout == exec.ColumnMajor && readCols == 0) {
+		return []int{1}
+	}
+	dops := []int{1}
+	for d := 2; d < maxDop; d *= 2 {
+		dops = append(dops, d)
+	}
+	return append(dops, maxDop)
+}
+
+// scanCost prices a dop-way scan of the given columns of st. A column scan
+// that reads no columns (count-only plan) touches neither the volume nor
+// the data: it emits block cardinality from placement metadata for free.
+//
+// Parallelism divides CPU time across dop cores but not I/O time — the
+// fragments share the same volume bandwidth — so elapsed time approaches
+// max(io, cpu/dop) while the joule account is unchanged: the same
+// core-seconds of work at the same active watts, plus a small startup
+// overhead per extra worker.
+func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms, dop int) Cost {
 	env := o.env
 	if st.Layout == exec.ColumnMajor && len(readCols) == 0 {
 		return Cost{}
+	}
+	if dop < 1 {
+		dop = 1
 	}
 	var encBytes, rawBytes, decodeCycles float64
 	if st.Layout == exec.ColumnMajor {
@@ -283,16 +326,17 @@ func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64,
 	cpuCycles := decodeCycles + rawBytes*env.Costs.ScanCyclesPerByte +
 		rows*float64(predTerms)*env.Costs.FilterCyclesPerRow
 	cpuTime := cpuCycles / env.CPUFreqHz
+	startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
 
 	var secs float64
 	if st.Layout == exec.ColumnMajor {
-		secs = math.Max(ioTime, cpuTime) // pipelined scan overlaps I/O and CPU
+		secs = math.Max(ioTime, cpuTime/float64(dop)) // pipelined scan overlaps I/O and CPU
 	} else {
-		secs = ioTime + cpuTime // row scan is read-then-parse
+		secs = ioTime + cpuTime/float64(dop) // row scan is read-then-parse
 	}
 	return Cost{
-		Seconds: secs,
-		Joules:  cpuTime*env.CPUWattPerCore + ioTime*env.StorageWatt,
+		Seconds: secs + startup,
+		Joules:  (cpuTime+startup)*env.CPUWattPerCore + ioTime*env.StorageWatt,
 	}
 }
 

@@ -74,7 +74,8 @@ func colIndex(cols []ColRef, c ColRef) int {
 	return -1
 }
 
-// PScan scans one placement variant with pushed-down predicates.
+// PScan scans one placement variant with pushed-down predicates, possibly
+// as a DOP-way parallel morsel-driven scan.
 type PScan struct {
 	Alias   string
 	Rel     string
@@ -82,6 +83,7 @@ type PScan struct {
 	Read    []int // source schema column indexes fetched
 	Emit    []int // positions within Read forming the output
 	Preds   []PredIR
+	DOP     int // degree of parallelism; <= 1 builds the serial scan
 
 	cols []ColRef
 	card float64
@@ -106,9 +108,29 @@ func (s *PScan) RowBytes() float64 {
 // Cost implements PhysNode.
 func (s *PScan) Cost() Cost { return s.cost }
 
-// Build implements PhysNode.
+// Build implements PhysNode. DOP > 1 builds DOP scan fragments sharing one
+// morsel dispenser under a Parallel merge; each fragment gets its own
+// predicate instance (predicates carry evaluation scratch).
 func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	dop := s.DOP
+	if nb := s.Variant.ST.NumBlocks(); dop > nb {
+		dop = nb
+	}
+	if dop < 1 {
+		dop = 1
+	}
 	if s.Variant.ST.Layout == exec.ColumnMajor {
+		if dop > 1 {
+			return buildParallel(s.Variant.ST.NumBlocks(), dop, func(q *exec.Morsels) (exec.Operator, error) {
+				pred, err := s.execPred()
+				if err != nil {
+					return nil, err
+				}
+				cs := exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred)
+				cs.Morsels = q
+				return cs, nil
+			})
+		}
 		pred, err := s.execPred()
 		if err != nil {
 			return nil, err
@@ -120,6 +142,18 @@ func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	for i, e := range s.Emit {
 		emit[i] = s.Read[e]
 	}
+	if dop > 1 {
+		return buildParallel(s.Variant.ST.NumBlocks(), dop, func(q *exec.Morsels) (exec.Operator, error) {
+			rowPred, err := s.execPredFull()
+			if err != nil {
+				return nil, err
+			}
+			rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
+			rs.Window = 2 // per-fragment readahead; dop fragments stream at once
+			rs.Morsels = q
+			return rs, nil
+		})
+	}
 	rowPred, err := s.execPredFull()
 	if err != nil {
 		return nil, err
@@ -127,6 +161,21 @@ func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
 	rs.Window = 4 // planner scans are big: pipeline with readahead
 	return rs, nil
+}
+
+// buildParallel fans dop fragments built by newFrag (each wired to the
+// given shared morsel queue) out under a Parallel merge.
+func buildParallel(nblocks, dop int, newFrag func(q *exec.Morsels) (exec.Operator, error)) (exec.Operator, error) {
+	queue := exec.NewMorsels(nblocks, 0)
+	frags := make([]exec.Operator, dop)
+	for i := range frags {
+		f, err := newFrag(queue)
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = f
+	}
+	return exec.NewParallel(frags, queue), nil
 }
 
 // execPred translates the pushed predicates to positions within Read.
@@ -181,6 +230,9 @@ func (s *PScan) buildPred(pos func(string) (int, error)) (exec.Pred, error) {
 
 func (s *PScan) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%sscan %s (%s) cols=%d rows≈%.0f %v", indent, s.Alias, s.Variant.Name, len(s.Emit), s.card, s.cost)
+	if s.DOP > 1 {
+		fmt.Fprintf(b, " dop=%d", s.DOP)
+	}
 	for _, p := range s.Preds {
 		fmt.Fprintf(b, " [%v]", p)
 	}

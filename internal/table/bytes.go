@@ -117,8 +117,13 @@ func DecodeVector(t Type, data []byte, n int) (*Vector, error) {
 
 // EncodeRows appends the row-major wire form of batch rows [lo, hi): each
 // row is its columns' wire values concatenated in schema order. This is
-// the row-store page payload and the WAL record body.
+// the row-store page payload and the WAL record body. lo and hi index
+// physical rows: a batch carrying a deferred selection must be compacted
+// first (Clone, AppendBatch), or filtered-out rows would be encoded.
 func (b *Batch) EncodeRows(dst []byte, lo, hi int) []byte {
+	if b.Sel != nil {
+		panic("table: EncodeRows over a selected batch; compact it first")
+	}
 	for r := lo; r < hi; r++ {
 		for _, v := range b.Vecs {
 			dst = v.EncodeBytes(dst, r, r+1)
