@@ -1,0 +1,170 @@
+package core
+
+import (
+	"regexp"
+	"testing"
+
+	"energydb/internal/hw"
+	"energydb/internal/opt"
+)
+
+// planAggDop matches an agg plan line that carries a pipeline DOP.
+var planAggDop = regexp.MustCompile(`(?m)^\s*agg .*dop=`)
+
+// pipelineRig is parallelRig with an NVMe-class flash array: storage fast
+// enough that whole-pipeline CPU — not the scan's I/O — bounds elapsed
+// time. This is the regime where parallelism *above* the scan matters: on
+// parallelRig the I/O floor hides the serial aggregation entirely, so the
+// Amdahl gap PR 4 closes would be invisible.
+func pipelineRig() hw.ServerSpec {
+	spec := parallelRig()
+	ssd := spec.SSD
+	ssd.ReadBW *= 4
+	spec.SSD = ssd
+	return spec
+}
+
+// openParDB builds a DB on the CPU-bound pipeline rig, loads tiny TPC-H,
+// and applies the planning knobs. blockRows trades page-read amplification
+// (small blocks share pages and re-read them) against morsel count; tests
+// that must fragment a small table use small blocks.
+func openParDB(t *testing.T, obj opt.Objective, cores, maxPipelineDOP, blockRows int) *DB {
+	t.Helper()
+	db, err := Open(Config{
+		Server:    pipelineRig(),
+		Objective: obj,
+		BlockRows: blockRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTinyTPCH(t, db, 0.01)
+	db.Env.Cores = cores
+	db.Env.MaxPipelineDOP = maxPipelineDOP
+	return db
+}
+
+// TestParallelAggEndToEnd is the tentpole's acceptance test: a many-group
+// SELECT k, SUM(v) … GROUP BY k over generated lineitem must plan a
+// partitioned parallel aggregation under MinTime, produce results
+// identical to the serial plan, and beat the scan-only PR 3 plan's
+// simulated elapsed time — while MinEnergy still picks the cheaper-joule
+// (serial-aggregation) plan.
+func TestParallelAggEndToEnd(t *testing.T) {
+	const query = `SELECT l_partkey, COUNT(*) AS n, SUM(l_quantity) AS q
+		FROM lineitem GROUP BY l_partkey ORDER BY l_partkey`
+
+	measure := func(obj opt.Objective, cores, maxPipe int) *Result {
+		db := openParDB(t, obj, cores, maxPipe, 4096)
+		res, err := db.Exec(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := measure(opt.MinTime, 1, 0)
+	scanOnly := measure(opt.MinTime, 8, 1) // PR 3 shape: parallel scan, serial agg
+	par := measure(opt.MinTime, 8, 0)
+	lean := measure(opt.MinEnergy, 8, 0)
+
+	if planAggDop.MatchString(serial.Plan.Explain()) {
+		t.Fatalf("1-core plan fragmented the aggregation:\n%s", serial.Plan.Explain())
+	}
+	if planAggDop.MatchString(scanOnly.Plan.Explain()) {
+		t.Fatalf("MaxPipelineDOP=1 plan fragmented the aggregation:\n%s", scanOnly.Plan.Explain())
+	}
+	if !planAggDop.MatchString(par.Plan.Explain()) {
+		t.Fatalf("8-core MinTime plan kept the aggregation serial:\n%s", par.Plan.Explain())
+	}
+	if planAggDop.MatchString(lean.Plan.Explain()) {
+		t.Fatalf("MinEnergy plan bought parallel aggregation (joules are flat in DOP):\n%s", lean.Plan.Explain())
+	}
+	// MinEnergy's chosen plan must not model more joules than MinTime's.
+	if lean.Plan.Cost().Joules > par.Plan.Cost().Joules+1e-12 {
+		t.Fatalf("MinEnergy plan hotter than MinTime plan: %v vs %v", lean.Plan.Cost(), par.Plan.Cost())
+	}
+
+	// Identical results at every parallelism level (ORDER BY fixes the
+	// order; COUNT and SUM over integer-valued quantities are exact).
+	for _, res := range []*Result{scanOnly, par, lean} {
+		if res.Rows.Rows() != serial.Rows.Rows() {
+			t.Fatalf("group counts differ: %d vs serial %d", res.Rows.Rows(), serial.Rows.Rows())
+		}
+		for i := 0; i < serial.Rows.Rows(); i++ {
+			for c := 0; c < 3; c++ {
+				if serial.Rows.Column(c).Value(i).Compare(res.Rows.Column(c).Value(i)) != 0 {
+					t.Fatalf("row %d col %d: %v vs serial %v",
+						i, c, res.Rows.Column(c).Value(i), serial.Rows.Column(c).Value(i))
+				}
+			}
+		}
+	}
+
+	// The partitioned aggregation must push simulated elapsed time beyond
+	// what scan-only parallelism achieves on this agg-heavy workload.
+	if float64(par.Elapsed) >= float64(scanOnly.Elapsed)*0.9 {
+		t.Fatalf("parallel agg not meaningfully faster than scan-only plan: %.5fs vs %.5fs",
+			float64(par.Elapsed), float64(scanOnly.Elapsed))
+	}
+	t.Logf("serial %.5fs | scan-only %.5fs | partitioned agg %.5fs (%.2fx vs scan-only)",
+		float64(serial.Elapsed), float64(scanOnly.Elapsed), float64(par.Elapsed),
+		float64(scanOnly.Elapsed)/float64(par.Elapsed))
+}
+
+// TestParallelJoinBuildEndToEnd: the join+group-by shape must fragment the
+// hash-join build under MinTime (the aggregation above the join stays
+// serial — only scan-rooted pipelines fragment), match the serial plan's
+// results exactly, and stay serial under MinEnergy.
+func TestParallelJoinBuildEndToEnd(t *testing.T) {
+	const query = `SELECT o_orderpriority, COUNT(*) AS n
+		FROM lineitem, orders WHERE l_orderkey = o_orderkey
+		GROUP BY o_orderpriority ORDER BY o_orderpriority`
+
+	measure := func(obj opt.Objective, cores int) *Result {
+		db := openParDB(t, obj, cores, 0, 1024)
+		res, err := db.Exec(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	serial := measure(opt.MinTime, 1)
+	par := measure(opt.MinTime, 8)
+	lean := measure(opt.MinEnergy, 8)
+
+	if ex := serial.Plan.Explain(); regexp.MustCompile(`build_dop=`).MatchString(ex) {
+		t.Fatalf("1-core plan fragmented the join build:\n%s", ex)
+	}
+	if ex := par.Plan.Explain(); !regexp.MustCompile(`build_dop=`).MatchString(ex) {
+		t.Fatalf("8-core MinTime plan kept the join build serial:\n%s", ex)
+	}
+	if ex := lean.Plan.Explain(); regexp.MustCompile(`build_dop=`).MatchString(ex) {
+		t.Fatalf("MinEnergy plan bought a parallel join build:\n%s", ex)
+	}
+
+	if par.Rows.Rows() != serial.Rows.Rows() || lean.Rows.Rows() != serial.Rows.Rows() {
+		t.Fatalf("group counts differ: serial %d, parallel %d, energy %d",
+			serial.Rows.Rows(), par.Rows.Rows(), lean.Rows.Rows())
+	}
+	for i := 0; i < serial.Rows.Rows(); i++ {
+		for c := 0; c < 2; c++ {
+			if serial.Rows.Column(c).Value(i).Compare(par.Rows.Column(c).Value(i)) != 0 {
+				t.Fatalf("row %d col %d: parallel %v vs serial %v",
+					i, c, par.Rows.Column(c).Value(i), serial.Rows.Column(c).Value(i))
+			}
+			if serial.Rows.Column(c).Value(i).Compare(lean.Rows.Column(c).Value(i)) != 0 {
+				t.Fatalf("row %d col %d: energy %v vs serial %v",
+					i, c, lean.Rows.Column(c).Value(i), serial.Rows.Column(c).Value(i))
+			}
+		}
+	}
+	if float64(par.Elapsed) >= float64(serial.Elapsed) {
+		t.Fatalf("parallel build no faster: %.5fs vs %.5fs serial",
+			float64(par.Elapsed), float64(serial.Elapsed))
+	}
+	t.Logf("serial %.5fs | parallel build %.5fs (%.2fx)",
+		float64(serial.Elapsed), float64(par.Elapsed),
+		float64(serial.Elapsed)/float64(par.Elapsed))
+}

@@ -35,7 +35,17 @@ type AggSpec struct {
 // HashAgg groups rows by the GroupBy columns and computes aggregates. The
 // output schema is the group columns followed by one column per spec.
 // Output order is deterministic (sorted by group key values) so results
-// are reproducible.
+// are reproducible at any degree of parallelism.
+//
+// The serial plan is the one-fragment, one-partition special case of the
+// partitioned parallel aggregation: with In set (Frags nil) the input is
+// drained inline into a single aggTable; with Frags set, each fragment
+// pipeline runs in its own simulated process under the RunFragments
+// barrier exchange, aggregating its morsel stream into a thread-local
+// partial table, and a partition-wise merge phase — the binary group keys
+// hash-partition the group space into disjoint slices, one merge process
+// per partition — combines the partials. Both paths share every per-row
+// code path (aggTable.absorb) and the output stage.
 //
 // Group keys are a collision-free binary encoding of the raw column
 // values — fixed 8 bytes for int- and float-class columns, length-prefixed
@@ -44,50 +54,21 @@ type AggSpec struct {
 // per aggregate, indexed by group id) and updated from the raw typed
 // slices without boxing.
 type HashAgg struct {
-	In      Operator
+	In      Operator   // serial input; ignored when Frags is set
+	Frags   []Operator // parallel fragment pipelines sharing Queue
+	Queue   *Morsels   // shared dispenser behind Frags; reset on Open
 	GroupBy []int
 	Aggs    []AggSpec
 
-	schema  *table.Schema
-	groups  map[string]int32 // encoded key -> group id
-	keys    [][]table.Value  // per group: boxed group-by values (output only)
-	counts  []int64          // per group: row count
-	aggs    []aggCol         // per spec: columnar state
-	order   []int32          // group ids in output order
-	next    int
-	keyBuf  []byte   // reused per-row key encoding buffer
-	gids    []int32  // reused per-batch group-id vector
-	keyCols []keyCol // reused per-batch resolved group columns
+	schema *table.Schema
+	ins    *table.Schema // input schema (In's or the fragments')
+	tab    *aggTable     // merged result after Open
+	order  []int32       // group ids in output order
+	next   int
 }
 
-// keyCol is a group column with its physical class and raw slices
-// resolved once per batch, so the per-row key encoder does not re-dispatch
-// on the column type.
-type keyCol struct {
-	phys table.Phys
-	i    []int64
-	f    []float64
-	s    []string
-}
-
-// aggCol is the columnar state of one aggregate spec, indexed by group id.
-// Only the slices matching the input column's physical class are used.
-type aggCol struct {
-	phys table.Phys
-	sumI []int64
-	sumF []float64
-	minI []int64
-	maxI []int64
-	minF []float64
-	maxF []float64
-	minS []string
-	maxS []string
-	seen []bool
-}
-
-// NewHashAgg builds a grouping aggregation.
-func NewHashAgg(in Operator, groupBy []int, aggs []AggSpec) *HashAgg {
-	ins := in.Schema()
+// aggSchema derives the output schema: group columns then aggregates.
+func aggSchema(ins *table.Schema, groupBy []int, aggs []AggSpec) *table.Schema {
 	var cols []table.Column
 	for _, g := range groupBy {
 		cols = append(cols, ins.Cols[g])
@@ -111,59 +92,82 @@ func NewHashAgg(in Operator, groupBy []int, aggs []AggSpec) *HashAgg {
 		}
 		cols = append(cols, table.Col(name, t))
 	}
+	return table.NewSchema(ins.Name, cols...)
+}
+
+// NewHashAgg builds a serial grouping aggregation over in.
+func NewHashAgg(in Operator, groupBy []int, aggs []AggSpec) *HashAgg {
 	return &HashAgg{In: in, GroupBy: groupBy, Aggs: aggs,
-		schema: table.NewSchema(ins.Name, cols...)}
+		ins: in.Schema(), schema: aggSchema(in.Schema(), groupBy, aggs)}
+}
+
+// NewPartitionedHashAgg builds a partitioned parallel aggregation over
+// len(frags) fragment pipelines sharing the queue dispenser. The fragments
+// must produce identical schemas and be exclusively owned (they run
+// concurrently and may not share mutable state such as predicate scratch).
+func NewPartitionedHashAgg(frags []Operator, queue *Morsels, groupBy []int, aggs []AggSpec) *HashAgg {
+	if len(frags) == 0 {
+		panic("exec: partitioned HashAgg needs at least one fragment")
+	}
+	return &HashAgg{Frags: frags, Queue: queue, GroupBy: groupBy, Aggs: aggs,
+		ins: frags[0].Schema(), schema: aggSchema(frags[0].Schema(), groupBy, aggs)}
 }
 
 // Schema implements Operator.
 func (h *HashAgg) Schema() *table.Schema { return h.schema }
 
-// Open implements Operator: it drains the child and builds all groups.
+// Open implements Operator: it drains the input — inline for the serial
+// path, under the barrier exchange for the partitioned one — merges the
+// partial tables partition-wise, and fixes the output order.
 func (h *HashAgg) Open(ctx *Ctx) error {
-	if err := h.In.Open(ctx); err != nil {
-		return err
-	}
-	h.groups = make(map[string]int32)
-	h.keys = nil
-	h.counts = nil
-	h.order = nil
 	h.next = 0
-	ins := h.In.Schema()
-	h.aggs = make([]aggCol, len(h.Aggs))
-	for ai, a := range h.Aggs {
-		if a.Func != Count {
-			h.aggs[ai].phys = ins.Cols[a.Col].Type.Physical()
+	h.order = nil
+	h.tab = nil
+	if len(h.Frags) == 0 {
+		t := newAggTable(h.ins, h.GroupBy, h.Aggs)
+		if err := h.In.Open(ctx); err != nil {
+			return err
 		}
-	}
-	for {
-		b, err := h.In.Next(ctx)
+		for {
+			b, err := h.In.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			t.absorb(ctx, b)
+		}
+		if err := h.In.Close(ctx); err != nil {
+			return err
+		}
+		h.tab = t
+	} else {
+		if h.Queue != nil {
+			h.Queue.Reset()
+		}
+		locals := make([]*aggTable, len(h.Frags))
+		for i := range locals {
+			locals[i] = newAggTable(h.ins, h.GroupBy, h.Aggs)
+		}
+		if err := RunFragments(ctx, "hashagg", h.Frags, func(w int, wctx *Ctx, b *table.Batch) error {
+			locals[w].absorb(wctx, b)
+			return nil
+		}); err != nil {
+			return err
+		}
+		tab, err := mergePartitioned(ctx, h.ins, h.GroupBy, h.Aggs, locals)
 		if err != nil {
 			return err
 		}
-		if b == nil {
-			break
-		}
-		// A deferred upstream selection is read through, not compacted:
-		// the key encoder and the typed update loops index the physical
-		// vectors via Batch.Sel, so the last scan-side gather is gone.
-		ctx.ChargeRows(b.Rows()*max(1, len(h.Aggs)), ctx.Costs.AggCyclesPerRow)
-		h.assignGroups(b)
-		for _, gid := range h.gids {
-			h.counts[gid]++
-		}
-		for ai, a := range h.Aggs {
-			if a.Func == Count {
-				continue
-			}
-			h.aggs[ai].update(b.Vecs[a.Col], h.gids, b.Sel)
-		}
+		h.tab = tab
 	}
-	h.order = make([]int32, len(h.keys))
+	h.order = make([]int32, len(h.tab.keys))
 	for i := range h.order {
 		h.order[i] = int32(i)
 	}
 	sort.Slice(h.order, func(x, y int) bool {
-		a, b := h.keys[h.order[x]], h.keys[h.order[y]]
+		a, b := h.tab.keys[h.order[x]], h.tab.keys[h.order[y]]
 		for i := range a {
 			if c := a[i].Compare(b[i]); c != 0 {
 				return c < 0
@@ -171,30 +175,112 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 		}
 		return false
 	})
-	return h.In.Close(ctx)
+	return nil
 }
 
-// assignGroups fills h.gids with the group id of every logical row of b
-// (h.gids[k] belongs to selected row k when a selection rides the batch),
+// mergePartitioned combines per-worker partial tables partition-wise: the
+// binary group keys split the group space into ceilPow2(workers) disjoint
+// partitions, one merge process per partition folds every worker's share
+// of its partition (charging its own core), and the disjoint results
+// concatenate. A single partial table needs no merge and is used as-is.
+func mergePartitioned(ctx *Ctx, ins *table.Schema, groupBy []int, specs []AggSpec, locals []*aggTable) (*aggTable, error) {
+	if len(locals) == 1 {
+		return locals[0], nil
+	}
+	nparts := uint32(ceilPow2(len(locals)))
+	parts := make([]*aggTable, nparts)
+	if err := ParDo(ctx, "aggmerge", int(nparts), func(p int, wctx *Ctx) error {
+		t := newAggTable(ins, groupBy, specs)
+		for _, src := range locals {
+			t.mergeFrom(wctx, src, uint32(p), nparts)
+		}
+		parts[p] = t
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out.concat(p)
+	}
+	return out, nil
+}
+
+// aggTable is the grouping state shared by the serial and partitioned
+// aggregation paths: the group hash table, boxed output keys, and columnar
+// per-group aggregate state.
+type aggTable struct {
+	groupBy []int
+	specs   []AggSpec
+	groups  map[string]int32 // encoded key -> group id
+	encKeys []string         // per group: the collision-free binary key
+	keys    [][]table.Value  // per group: boxed group-by values (output only)
+	counts  []int64          // per group: row count
+	aggs    []aggCol         // per spec: columnar state
+	keyBuf  []byte           // reused per-row key encoding buffer
+	gids    []int32          // reused per-batch group-id vector
+	keyCols []keyCol         // reused per-batch resolved group columns
+}
+
+func newAggTable(ins *table.Schema, groupBy []int, specs []AggSpec) *aggTable {
+	t := &aggTable{groupBy: groupBy, specs: specs,
+		groups: make(map[string]int32), aggs: make([]aggCol, len(specs))}
+	for ai, a := range specs {
+		if a.Func != Count {
+			t.aggs[ai].phys = ins.Cols[a.Col].Type.Physical()
+		}
+	}
+	return t
+}
+
+// keyCol is a group column with its physical class and raw slices
+// resolved once per batch, so the per-row key encoder does not re-dispatch
+// on the column type.
+type keyCol struct {
+	phys table.Phys
+	i    []int64
+	f    []float64
+	s    []string
+}
+
+// absorb folds one input batch into the table. A deferred upstream
+// selection is read through, not compacted: the key encoder and the typed
+// update loops index the physical vectors via Batch.Sel.
+func (t *aggTable) absorb(ctx *Ctx, b *table.Batch) {
+	ctx.ChargeRows(b.Rows()*max(1, len(t.specs)), ctx.Costs.AggCyclesPerRow)
+	t.assignGroups(b)
+	for _, gid := range t.gids {
+		t.counts[gid]++
+	}
+	for ai, a := range t.specs {
+		if a.Func == Count {
+			continue
+		}
+		t.aggs[ai].update(b.Vecs[a.Col], t.gids, b.Sel)
+	}
+}
+
+// assignGroups fills t.gids with the group id of every logical row of b
+// (t.gids[k] belongs to selected row k when a selection rides the batch),
 // creating groups on first sight. The encoded key is injective: 8 fixed
 // bytes per int/float column, uvarint length prefix + bytes per string
 // column — two distinct key tuples can never encode to the same byte
 // string (the old Value.String()+"\x00" scheme collided on strings
 // containing NUL).
-func (h *HashAgg) assignGroups(b *table.Batch) {
+func (t *aggTable) assignGroups(b *table.Batch) {
 	n := b.Rows()
 	sel := b.Sel
-	if cap(h.gids) < n {
-		h.gids = make([]int32, n)
+	if cap(t.gids) < n {
+		t.gids = make([]int32, n)
 	}
-	h.gids = h.gids[:n]
+	t.gids = t.gids[:n]
 	// Hoist the per-column dispatch out of the row loop: resolve each
 	// group column's physical class and raw slice once per batch.
-	if h.keyCols == nil {
-		h.keyCols = make([]keyCol, len(h.GroupBy))
+	if t.keyCols == nil {
+		t.keyCols = make([]keyCol, len(t.groupBy))
 	}
-	cols := h.keyCols
-	for ci, g := range h.GroupBy {
+	cols := t.keyCols
+	for ci, g := range t.groupBy {
 		v := b.Vecs[g]
 		cols[ci] = keyCol{phys: v.Type.Physical(), i: v.I, f: v.F, s: v.S}
 	}
@@ -203,7 +289,7 @@ func (h *HashAgg) assignGroups(b *table.Batch) {
 		if sel != nil {
 			r = int(sel[k])
 		}
-		buf := h.keyBuf[:0]
+		buf := t.keyBuf[:0]
 		for _, c := range cols {
 			switch c.phys {
 			case table.PhysInt:
@@ -216,30 +302,100 @@ func (h *HashAgg) assignGroups(b *table.Batch) {
 				buf = append(buf, s...)
 			}
 		}
-		h.keyBuf = buf
-		gid, ok := h.groups[string(buf)] // compiler avoids the alloc on lookup
+		t.keyBuf = buf
+		gid, ok := t.groups[string(buf)] // compiler avoids the alloc on lookup
 		if !ok {
-			gid = h.newGroup(b, r, string(buf))
+			gid = t.newGroup(b, r, string(buf))
 		}
-		h.gids[k] = gid
+		t.gids[k] = gid
 	}
 }
 
-func (h *HashAgg) newGroup(b *table.Batch, r int, key string) int32 {
-	gid := int32(len(h.keys))
-	h.groups[key] = gid
-	kv := make([]table.Value, len(h.GroupBy))
-	for i, g := range h.GroupBy {
+func (t *aggTable) newGroup(b *table.Batch, r int, key string) int32 {
+	gid := int32(len(t.keys))
+	t.groups[key] = gid
+	t.encKeys = append(t.encKeys, key)
+	kv := make([]table.Value, len(t.groupBy))
+	for i, g := range t.groupBy {
 		kv[i] = b.Vecs[g].Value(r)
 	}
-	h.keys = append(h.keys, kv)
-	h.counts = append(h.counts, 0)
-	for ai := range h.aggs {
-		if h.Aggs[ai].Func != Count {
-			h.aggs[ai].grow()
+	t.keys = append(t.keys, kv)
+	t.counts = append(t.counts, 0)
+	for ai := range t.aggs {
+		if t.specs[ai].Func != Count {
+			t.aggs[ai].grow()
 		}
 	}
 	return gid
+}
+
+// mergeFrom folds src's groups whose binary key hashes to partition part
+// (of nparts) into t. Partial states combine exactly: counts and sums
+// add, extrema compare, and Avg re-derives from the merged sum and count.
+// Folding charges the merge work — one aggregate update per partial group
+// per spec — to the calling (merge worker's) process.
+func (t *aggTable) mergeFrom(ctx *Ctx, src *aggTable, part, nparts uint32) {
+	mask := nparts - 1
+	folded := 0
+	for sg, key := range src.encKeys {
+		if nparts > 1 && hashString(key)&mask != part {
+			continue
+		}
+		folded++
+		gid, ok := t.groups[key]
+		if !ok {
+			gid = int32(len(t.keys))
+			t.groups[key] = gid
+			t.encKeys = append(t.encKeys, key)
+			t.keys = append(t.keys, src.keys[sg])
+			t.counts = append(t.counts, 0)
+			for ai := range t.aggs {
+				if t.specs[ai].Func != Count {
+					t.aggs[ai].grow()
+				}
+			}
+		}
+		t.counts[gid] += src.counts[sg]
+		for ai := range t.aggs {
+			if t.specs[ai].Func == Count {
+				continue
+			}
+			t.aggs[ai].mergeGroup(gid, &src.aggs[ai], int32(sg))
+		}
+	}
+	ctx.ChargeRows(folded*max(1, len(t.specs)), ctx.Costs.AggCyclesPerRow)
+}
+
+// concat appends src's groups to t. The tables must be key-disjoint (they
+// hold different partitions), so ids simply shift by t's group count.
+func (t *aggTable) concat(src *aggTable) {
+	base := int32(len(t.keys))
+	for sg, key := range src.encKeys {
+		t.groups[key] = base + int32(sg)
+	}
+	t.encKeys = append(t.encKeys, src.encKeys...)
+	t.keys = append(t.keys, src.keys...)
+	t.counts = append(t.counts, src.counts...)
+	for ai := range t.aggs {
+		if t.specs[ai].Func != Count {
+			t.aggs[ai].concat(&src.aggs[ai])
+		}
+	}
+}
+
+// aggCol is the columnar state of one aggregate spec, indexed by group id.
+// Only the slices matching the input column's physical class are used.
+type aggCol struct {
+	phys table.Phys
+	sumI []int64
+	sumF []float64
+	minI []int64
+	maxI []int64
+	minF []float64
+	maxF []float64
+	minS []string
+	maxS []string
+	seen []bool
 }
 
 func (c *aggCol) grow() {
@@ -324,6 +480,72 @@ func (c *aggCol) update(v *table.Vector, gids []int32, sel []int32) {
 	}
 }
 
+// mergeGroup folds src's partial state for group sg into t's group gid.
+func (c *aggCol) mergeGroup(gid int32, src *aggCol, sg int32) {
+	switch c.phys {
+	case table.PhysInt:
+		c.sumI[gid] += src.sumI[sg]
+		c.sumF[gid] += src.sumF[sg]
+		if src.seen[sg] {
+			if !c.seen[gid] {
+				c.minI[gid], c.maxI[gid] = src.minI[sg], src.maxI[sg]
+				c.seen[gid] = true
+			} else {
+				if src.minI[sg] < c.minI[gid] {
+					c.minI[gid] = src.minI[sg]
+				}
+				if src.maxI[sg] > c.maxI[gid] {
+					c.maxI[gid] = src.maxI[sg]
+				}
+			}
+		}
+	case table.PhysFloat:
+		c.sumF[gid] += src.sumF[sg]
+		if src.seen[sg] {
+			if !c.seen[gid] {
+				c.minF[gid], c.maxF[gid] = src.minF[sg], src.maxF[sg]
+				c.seen[gid] = true
+			} else {
+				if src.minF[sg] < c.minF[gid] {
+					c.minF[gid] = src.minF[sg]
+				}
+				if src.maxF[sg] > c.maxF[gid] {
+					c.maxF[gid] = src.maxF[sg]
+				}
+			}
+		}
+	default:
+		c.sumI[gid] += src.sumI[sg]
+		c.sumF[gid] += src.sumF[sg]
+		if src.seen[sg] {
+			if !c.seen[gid] {
+				c.minS[gid], c.maxS[gid] = src.minS[sg], src.maxS[sg]
+				c.seen[gid] = true
+			} else {
+				if src.minS[sg] < c.minS[gid] {
+					c.minS[gid] = src.minS[sg]
+				}
+				if src.maxS[sg] > c.maxS[gid] {
+					c.maxS[gid] = src.maxS[sg]
+				}
+			}
+		}
+	}
+}
+
+// concat appends src's per-group state (disjoint partitions, ids shift).
+func (c *aggCol) concat(src *aggCol) {
+	c.sumI = append(c.sumI, src.sumI...)
+	c.sumF = append(c.sumF, src.sumF...)
+	c.minI = append(c.minI, src.minI...)
+	c.maxI = append(c.maxI, src.maxI...)
+	c.minF = append(c.minF, src.minF...)
+	c.maxF = append(c.maxF, src.maxF...)
+	c.minS = append(c.minS, src.minS...)
+	c.maxS = append(c.maxS, src.maxS...)
+	c.seen = append(c.seen, src.seen...)
+}
+
 // Next implements Operator.
 func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 	if h.next >= len(h.order) {
@@ -353,16 +575,16 @@ func (h *HashAgg) Next(ctx *Ctx) (*table.Batch, error) {
 // appendRow boxes group gid into one output row (per group, not per input
 // row, so boxing here is off the hot path).
 func (h *HashAgg) appendRow(b *table.Batch, gid int32) {
-	for i, v := range h.keys[gid] {
+	for i, v := range h.tab.keys[gid] {
 		b.Vecs[i].Append(v)
 	}
 	for ai, a := range h.Aggs {
 		colType := h.schema.Cols[len(h.GroupBy)+ai].Type
-		c := &h.aggs[ai]
+		c := &h.tab.aggs[ai]
 		out := b.Vecs[len(h.GroupBy)+ai]
 		switch a.Func {
 		case Count:
-			out.Append(table.IntVal(h.counts[gid]))
+			out.Append(table.IntVal(h.tab.counts[gid]))
 		case Sum:
 			if colType.Physical() == table.PhysFloat {
 				out.Append(table.FloatVal(c.sumF[gid]))
@@ -370,10 +592,10 @@ func (h *HashAgg) appendRow(b *table.Batch, gid int32) {
 				out.Append(table.Value{Type: colType, I: c.sumI[gid]})
 			}
 		case Avg:
-			if h.counts[gid] == 0 {
+			if h.tab.counts[gid] == 0 {
 				out.Append(table.FloatVal(0))
 			} else {
-				out.Append(table.FloatVal(c.sumF[gid] / float64(h.counts[gid])))
+				out.Append(table.FloatVal(c.sumF[gid] / float64(h.tab.counts[gid])))
 			}
 		case Min, Max:
 			out.Append(c.extreme(a.Func, gid, colType))
@@ -424,12 +646,8 @@ func (h *HashAgg) appendEmptyRow(b *table.Batch) {
 
 // Close implements Operator.
 func (h *HashAgg) Close(ctx *Ctx) error {
-	h.groups = nil
-	h.keys = nil
-	h.counts = nil
-	h.aggs = nil
-	h.gids = nil
-	h.keyCols = nil
+	h.tab = nil
+	h.order = nil
 	return nil
 }
 

@@ -237,3 +237,106 @@ func BenchmarkColumnScan(b *testing.B) {
 		})
 	}
 }
+
+// benchPipelineRig builds the simulated machine the pipeline benchmarks
+// run on (8 cores, 3 SSDs) and returns its parts.
+func benchPipelineRig() (*sim.Engine, *hw.CPU, *storage.Volume) {
+	eng := sim.NewEngine()
+	meter := energy.NewMeter()
+	spec := hw.ScanCPU2008()
+	spec.Cores = 8
+	cpu := hw.NewCPU(eng, meter, "cpu", spec)
+	devs := make([]storage.BlockDevice, 3)
+	for i := range devs {
+		devs[i] = hw.NewSSD(eng, meter, fmt.Sprintf("ssd%d", i), hw.FlashSSD2008())
+	}
+	return eng, cpu, storage.NewVolume("vol", storage.Striped, 16<<10, devs)
+}
+
+// BenchmarkParallelHashAgg measures the partitioned parallel aggregation
+// end to end (scan fragments → thread-local partials → partition-wise
+// merge) at DOP 1, 4 and 8 over a stored table. sim_ms is the simulated
+// elapsed time; ns/op the real cost of simulating it.
+func BenchmarkParallelHashAgg(b *testing.B) {
+	tab := benchStrings(benchRows, 1000)
+	specs := []AggSpec{
+		{Func: Count, As: "n"},
+		{Func: Sum, Col: 1, As: "s"},
+		{Func: Min, Col: 1, As: "lo"},
+		{Func: Max, Col: 1, As: "hi"},
+	}
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, cpu, vol := benchPipelineRig()
+				st, err := PlaceColumnMajor(tab, vol, 1, 4096, rawCodecs(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Go("query", func(p *sim.Proc) {
+					ctx := NewCtx(p, cpu)
+					frags, q := colScanFrags(st, []int{0, 1}, []int{0, 1}, nil, dop, 0)
+					agg := NewPartitionedHashAgg(frags, q, []int{0}, specs)
+					n, err := RowCount(ctx, agg)
+					if err != nil {
+						b.Error(err)
+					}
+					if n != 1000 {
+						b.Errorf("groups = %d", n)
+					}
+				})
+				b.StartTimer()
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				simSecs = eng.Now()
+			}
+			b.ReportMetric(simSecs*1e3, "sim_ms")
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
+}
+
+// BenchmarkParallelJoinBuild measures the partitioned parallel hash-join
+// build (scan fragments → key partitioning → concurrent per-partition
+// table builds) plus a serial probe, at build DOP 1, 4 and 8.
+func BenchmarkParallelJoinBuild(b *testing.B) {
+	build := benchInts(benchRows) // build side: 64k rows, sequential keys
+	probeT := benchInts(1 << 12)  // small probe: the build is what's measured
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, cpu, vol := benchPipelineRig()
+				st, err := PlaceColumnMajor(build, vol, 1, 4096, rawCodecs(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Go("query", func(p *sim.Proc) {
+					ctx := NewCtx(p, cpu)
+					frags, q := colScanFrags(st, []int{0, 1}, []int{0, 1}, nil, dop, 0)
+					j := NewPartitionedHashJoin(frags, q, &Values{Tab: probeT}, 0, 0, dop)
+					n, err := RowCount(ctx, j)
+					if err != nil {
+						b.Error(err)
+					}
+					if n == 0 {
+						b.Error("no matches")
+					}
+				})
+				b.StartTimer()
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				simSecs = eng.Now()
+			}
+			b.ReportMetric(simSecs*1e3, "sim_ms")
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
+}

@@ -141,14 +141,60 @@ func TestFilterChainPushdown(t *testing.T) {
 }
 
 // TestProjectComposesSelection: a projection between filters must forward
-// the incoming selection instead of compacting, and arithmetic over a
-// selected batch must produce values aligned with the survivors.
+// a dense-enough incoming selection instead of compacting (below
+// compactDensity the gather is the better trade — see
+// TestProjectCompactsSparseSelection), and arithmetic over a selected
+// batch must produce values aligned with the survivors.
 func TestProjectComposesSelection(t *testing.T) {
 	tab := ordersLike(2000)
 	r := newRig(1)
 	probe := &selProbe{}
 	var got *table.Table
 	r.run(t, func(ctx *Ctx) {
+		// Gt 700 leaves the partial batch (keys 513..1024) at 324/512
+		// survivors — above the compaction threshold.
+		f := &Filter{In: &Values{Tab: tab, BatchRows: 512},
+			Pred: &ColConst{Col: 0, Op: Gt, Val: table.IntVal(700)}}
+		p := NewProject(f,
+			[]Scalar{&ColRef{Col: 0}, &Arith{Op: Mul, L: &ColRef{Col: 3}, R: &Const{Val: table.FloatVal(2)}}},
+			[]string{"k", "double_price"})
+		probe.In = p
+		var err error
+		got, err = Collect(ctx, probe)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if got.Rows() != 1300 {
+		t.Fatalf("rows = %d, want 1300", got.Rows())
+	}
+	if probe.selected == 0 {
+		t.Fatal("projection compacted the selection instead of composing it")
+	}
+	for i := 0; i < got.Rows(); i++ {
+		k := got.Column(0).I[i]
+		if k <= 700 {
+			t.Fatalf("row %d: key %d failed the filter", i, k)
+		}
+		wantP := tab.Column(3).F[k-1] * 2 // o_orderkey is i+1
+		if got.Column(1).F[i] != wantP {
+			t.Fatalf("row %d: price %v, want %v", i, got.Column(1).F[i], wantP)
+		}
+	}
+}
+
+// TestProjectCompactsSparseSelection: below compactDensity a selected
+// batch feeding arithmetic is gathered once before evaluation — the
+// output carries no selection and its physical rows equal the survivors —
+// and the values still line up row for row.
+func TestProjectCompactsSparseSelection(t *testing.T) {
+	tab := ordersLike(2000)
+	r := newRig(1)
+	probe := &selProbe{}
+	var got *table.Table
+	r.run(t, func(ctx *Ctx) {
+		// Gt 1000 leaves batch 513..1024 at 24/512 survivors — far below
+		// the threshold, so the projection must compact before its Arith.
 		f := &Filter{In: &Values{Tab: tab, BatchRows: 512},
 			Pred: &ColConst{Col: 0, Op: Gt, Val: table.IntVal(1000)}}
 		p := NewProject(f,
@@ -164,15 +210,15 @@ func TestProjectComposesSelection(t *testing.T) {
 	if got.Rows() != 1000 {
 		t.Fatalf("rows = %d, want 1000", got.Rows())
 	}
-	if probe.selected == 0 {
-		t.Fatal("projection compacted the selection instead of composing it")
+	if probe.selected != 0 {
+		t.Fatalf("sparse selection rode through the projection uncompacted (%d selected batches)", probe.selected)
 	}
 	for i := 0; i < got.Rows(); i++ {
 		k := got.Column(0).I[i]
 		if k <= 1000 {
 			t.Fatalf("row %d: key %d failed the filter", i, k)
 		}
-		wantP := tab.Column(3).F[k-1] * 2 // o_orderkey is i+1
+		wantP := tab.Column(3).F[k-1] * 2
 		if got.Column(1).F[i] != wantP {
 			t.Fatalf("row %d: price %v, want %v", i, got.Column(1).F[i], wantP)
 		}

@@ -1,0 +1,163 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"energydb/internal/sim"
+	"energydb/internal/table"
+)
+
+// This file is the exchange layer: the primitives that move work and data
+// across simulated-process boundaries so whole pipelines — not just scans —
+// can run in parallel. Three shapes cover the executor's needs:
+//
+//   - Parallel (parallel.go) is the streaming exchange: DOP fragments feed
+//     one consumer through a completion-order merge, batch by batch.
+//   - RunFragments is the barrier exchange: DOP fragment pipelines run to
+//     completion, each absorbed by a per-worker sink inside the worker's
+//     own process; control returns when every fragment has exited. It is
+//     the accumulation phase of partitioned aggregation and join builds.
+//   - ParDo is plain task parallelism for the phases after the barrier
+//     (partition-wise merges, per-partition hash-table builds).
+//
+// Ownership across an exchange boundary follows one rule (see CONTRACT.md):
+// a batch never crosses a process boundary while its producer may still
+// mutate it — sinks run inside the producing worker, and anything that
+// outlives the worker is copied into state the next phase owns.
+
+// fragDone is a worker-exit notification.
+type fragDone struct {
+	w   int
+	err error
+}
+
+// RunFragments runs each fragment pipeline to completion in its own
+// simulated process and feeds every non-empty batch it produces to
+// sink(w, wctx, batch), called in worker w's process so CPU charged by the
+// sink lands on that worker's core, concurrently with its siblings.
+//
+// The batch passed to sink is owned by the fragment and valid only for the
+// duration of the call; a sink that keeps rows must copy them into
+// worker-local state (per-worker accumulators need no locking — the sim
+// engine interleaves processes deterministically, one at a time).
+//
+// An error from any fragment or sink stops the remaining workers at their
+// next batch boundary; RunFragments blocks until every worker has exited
+// and returns the first error in completion order. Fragments sharing a
+// Morsels dispenser must have it Reset by the caller beforehand.
+func RunFragments(ctx *Ctx, name string, frags []Operator, sink func(w int, wctx *Ctx, b *table.Batch) error) error {
+	eng := ctx.P.Engine()
+	done := sim.NewMailbox[fragDone](eng, name+":done")
+	stop := false
+	for i := range frags {
+		i, frag := i, frags[i]
+		eng.Go(fmt.Sprintf("%s:w%d", name, i), func(wp *sim.Proc) {
+			wctx := *ctx
+			wctx.P = wp
+			err := frag.Open(&wctx)
+			if err == nil {
+				for !stop {
+					var b *table.Batch
+					b, err = frag.Next(&wctx)
+					if err != nil || b == nil {
+						break
+					}
+					if b.Rows() == 0 {
+						continue
+					}
+					if err = sink(i, &wctx, b); err != nil {
+						break
+					}
+				}
+				if cerr := frag.Close(&wctx); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				stop = true
+			}
+			done.Put(fragDone{w: i, err: err})
+		})
+	}
+	var first error
+	for n := 0; n < len(frags); n++ {
+		if d := done.Get(ctx.P); d.err != nil && first == nil {
+			first = d.err
+		}
+	}
+	return first
+}
+
+// ParDo runs n tasks, each in its own simulated process, and blocks until
+// all have finished; it returns the first error in completion order.
+// Tasks charge CPU through their own process, so up to n cores execute
+// concurrently (excess tasks queue on the CPU resource). n == 1 runs the
+// task inline on the caller's process, spawning nothing.
+func ParDo(ctx *Ctx, name string, n int, task func(i int, wctx *Ctx) error) error {
+	if n == 1 {
+		return task(0, ctx)
+	}
+	eng := ctx.P.Engine()
+	done := sim.NewMailbox[fragDone](eng, name+":done")
+	for i := 0; i < n; i++ {
+		i := i
+		eng.Go(fmt.Sprintf("%s:p%d", name, i), func(wp *sim.Proc) {
+			wctx := *ctx
+			wctx.P = wp
+			done.Put(fragDone{w: i, err: task(i, &wctx)})
+		})
+	}
+	var first error
+	for k := 0; k < n; k++ {
+		if d := done.Get(ctx.P); d.err != nil && first == nil {
+			first = d.err
+		}
+	}
+	return first
+}
+
+// The partitioning hashes below split key space across partitions for the
+// partitioned aggregation and join paths. They must be pure functions of
+// the key value: the probe side recomputes them to route lookups to the
+// partition the build side filed the key under.
+
+// hashInt64 scrambles an int64 key (Fibonacci multiplicative hashing), so
+// dense sequential keys spread across partitions instead of striping.
+func hashInt64(x int64) uint32 {
+	return uint32((uint64(x) * 0x9E3779B97F4A7C15) >> 32)
+}
+
+// hashFloat64 hashes a float64 key by its bit pattern, canonicalising
+// negative zero first: Go map equality treats +0.0 and -0.0 as the same
+// key, so they must land in the same partition or a partitioned probe
+// would miss matches the serial single-map join finds. (NaN keys never
+// match under map equality in either path.)
+func hashFloat64(f float64) uint32 {
+	if f == 0 {
+		f = 0 // collapse -0.0 onto +0.0, matching map key equality
+	}
+	return hashInt64(int64(math.Float64bits(f)))
+}
+
+// hashString is FNV-1a over the key bytes; the aggregation path applies it
+// to the collision-free binary group keys, so equal group tuples always
+// land in the same partition.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1), so partition
+// routing can mask instead of divide.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

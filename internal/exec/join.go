@@ -28,39 +28,69 @@ func joinSchema(name string, l, r *table.Schema) *table.Schema {
 	return table.NewSchema(name, cols...)
 }
 
-// HashJoin is an equi-join that materialises the build side into an
-// in-memory hash table and streams the probe side. It is fast but holds
-// the whole build relation in memory — the power-hungry choice §4.1 calls
-// out: hash join "relies on using a large chunk of memory ... From a power
+// HashJoin is an equi-join that materialises the build side into in-memory
+// hash tables and streams the probe side. It is fast but holds the whole
+// build relation in memory — the power-hungry choice §4.1 calls out: hash
+// join "relies on using a large chunk of memory ... From a power
 // perspective, these are expensive operations and may tip the balance in
 // favor of nested-loop join".
 //
-// The hash table is typed on the key column's physical class (raw int64,
+// The serial plan is the one-fragment, one-partition special case of the
+// partitioned parallel build: with Build set (BuildFrags nil) the build
+// side drains inline into a single partition; with BuildFrags set, each
+// fragment pipeline runs in its own simulated process under the
+// RunFragments barrier exchange, hash-partitioning its rows by key into
+// per-worker per-partition row stores, and the per-partition typed hash
+// tables are then built concurrently (one process per partition). The
+// probe side routes through the same partitioning: each probe key hashes
+// to the partition whose table can hold it.
+//
+// Hash tables are typed on the key column's physical class (raw int64,
 // float64 or string keys — int-class types share the int64 table, which
-// is what normalised Int64/Date/Decimal keys across relations), and the
+// is what normalises Int64/Date/Decimal keys across relations), and the
 // probe inner loop only accumulates (buildRow, probeRow) index pairs;
 // output rows are materialised with one batch-level gather per side.
 type HashJoin struct {
-	Build    Operator
-	Probe    Operator
-	BuildKey int // column index in Build's schema
-	ProbeKey int // column index in Probe's schema
+	Build      Operator   // serial build input; ignored when BuildFrags is set
+	BuildFrags []Operator // parallel build fragment pipelines sharing BuildQueue
+	BuildQueue *Morsels   // shared dispenser behind BuildFrags; reset on Open
+	Probe      Operator
+	BuildKey   int // column index in the build schema
+	ProbeKey   int // column index in Probe's schema
+	Partitions int // build hash partitions, rounded up to a power of two; <= 1 builds one table
 
 	schema     *table.Schema
-	htI        map[int64][]int32
-	htF        map[float64][]int32
-	htS        map[string][]int32
-	buildB     *table.Batch // materialised build side
+	nparts     uint32
+	htI        []map[int64][]int32 // per partition; values are global buildB rows
+	htF        []map[float64][]int32
+	htS        []map[string][]int32
+	buildB     *table.Batch // materialised build side (partitions concatenated)
 	buildBytes int64
 	bsel, psel []int32      // reusable gather index scratch
 	out        *table.Batch // reusable output batch
 }
 
-// NewHashJoin builds a hash join of two operators on single key columns.
+// NewHashJoin builds a serial hash join of two operators on single key
+// columns.
 func NewHashJoin(build, probe Operator, buildKey, probeKey int) *HashJoin {
 	return &HashJoin{
 		Build: build, Probe: probe, BuildKey: buildKey, ProbeKey: probeKey,
 		schema: joinSchema("hashjoin", build.Schema(), probe.Schema()),
+	}
+}
+
+// NewPartitionedHashJoin builds a hash join whose build side runs as
+// len(frags) parallel fragment pipelines sharing the queue dispenser,
+// partitioned partitions-ways. The fragments must produce identical
+// schemas and be exclusively owned.
+func NewPartitionedHashJoin(frags []Operator, queue *Morsels, probe Operator, buildKey, probeKey, partitions int) *HashJoin {
+	if len(frags) == 0 {
+		panic("exec: partitioned HashJoin needs at least one build fragment")
+	}
+	return &HashJoin{
+		BuildFrags: frags, BuildQueue: queue, Probe: probe,
+		BuildKey: buildKey, ProbeKey: probeKey, Partitions: partitions,
+		schema: joinSchema("hashjoin", frags[0].Schema(), probe.Schema()),
 	}
 }
 
@@ -71,57 +101,214 @@ func (j *HashJoin) Schema() *table.Schema { return j.schema }
 // energy model charges DRAM power for it.
 func (j *HashJoin) MemBytes() int64 { return j.buildBytes }
 
-// Open implements Operator: it drains the build side.
-func (j *HashJoin) Open(ctx *Ctx) error {
-	if err := j.Build.Open(ctx); err != nil {
-		return err
+// buildSchema is the build side's input schema.
+func (j *HashJoin) buildSchema() *table.Schema {
+	if j.BuildFrags != nil {
+		return j.BuildFrags[0].Schema()
 	}
-	j.buildB = table.NewBatch(j.Build.Schema(), 0)
-	j.buildBytes = 0
-	for {
-		b, err := j.Build.Next(ctx)
-		if err != nil {
+	return j.Build.Schema()
+}
+
+// buildPartitioner routes build-side rows into per-partition materialised
+// row stores by the hash of their key — the same hash the probe side uses
+// to route lookups. One partition appends whole batches (the serial path's
+// behaviour, bit for bit).
+type buildPartitioner struct {
+	key    int
+	nparts uint32
+	parts  []*table.Batch
+	bytes  int64
+	sel    [][]int32 // reusable per-partition row-index scratch
+}
+
+func newBuildPartitioner(schema *table.Schema, key int, nparts uint32) *buildPartitioner {
+	bp := &buildPartitioner{key: key, nparts: nparts,
+		parts: make([]*table.Batch, nparts), sel: make([][]int32, nparts)}
+	for p := range bp.parts {
+		bp.parts[p] = table.NewBatch(schema, 0)
+	}
+	return bp
+}
+
+// route appends sel[p] for every logical row of b, honouring a deferred
+// selection on the batch.
+func route[T comparable](keys []T, hash func(T) uint32, mask uint32, bsel []int32, n int, sel [][]int32) {
+	if bsel == nil {
+		for r := 0; r < n; r++ {
+			p := hash(keys[r]) & mask
+			sel[p] = append(sel[p], int32(r))
+		}
+		return
+	}
+	for _, r := range bsel {
+		p := hash(keys[r]) & mask
+		sel[p] = append(sel[p], r)
+	}
+}
+
+// absorb folds one build batch into the partitioned row stores, charging
+// the build work to the calling (worker's) process.
+func (bp *buildPartitioner) absorb(ctx *Ctx, b *table.Batch) {
+	ctx.ChargeRows(b.Rows(), ctx.Costs.HashBuildCyclesPerRow)
+	bp.bytes += b.ByteSize()
+	ctx.TouchDRAM(b.ByteSize())
+	if bp.nparts == 1 {
+		bp.parts[0].AppendBatch(b)
+		return
+	}
+	for p := range bp.sel {
+		bp.sel[p] = bp.sel[p][:0]
+	}
+	kv := b.Vecs[bp.key]
+	mask := bp.nparts - 1
+	switch kv.Type.Physical() {
+	case table.PhysInt:
+		route(kv.I, hashInt64, mask, b.Sel, b.Rows(), bp.sel)
+	case table.PhysFloat:
+		route(kv.F, hashFloat64, mask, b.Sel, b.Rows(), bp.sel)
+	default:
+		route(kv.S, hashString, mask, b.Sel, b.Rows(), bp.sel)
+	}
+	for p, sel := range bp.sel {
+		if len(sel) > 0 {
+			bp.parts[p].AppendGather(b, sel)
+		}
+	}
+}
+
+// Open implements Operator: it drains the build side — inline for the
+// serial path, under the barrier exchange for the fragmented one — then
+// builds the per-partition typed hash tables (concurrently when the build
+// was fragmented) and opens the probe.
+func (j *HashJoin) Open(ctx *Ctx) error {
+	bschema := j.buildSchema()
+	nparts := 1
+	if j.Partitions > 1 {
+		nparts = ceilPow2(j.Partitions)
+	}
+	j.nparts = uint32(nparts)
+
+	// Phase 1: drain build pipelines into per-worker partitioned row stores.
+	var locals []*buildPartitioner
+	if j.BuildFrags == nil {
+		bp := newBuildPartitioner(bschema, j.BuildKey, j.nparts)
+		if err := j.Build.Open(ctx); err != nil {
 			return err
 		}
-		if b == nil {
-			break
+		for {
+			b, err := j.Build.Next(ctx)
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			bp.absorb(ctx, b)
 		}
-		ctx.ChargeRows(b.Rows(), ctx.Costs.HashBuildCyclesPerRow)
-		j.buildBytes += b.ByteSize()
-		ctx.TouchDRAM(b.ByteSize())
-		j.buildB.AppendBatch(b)
+		if err := j.Build.Close(ctx); err != nil {
+			return err
+		}
+		locals = []*buildPartitioner{bp}
+	} else {
+		if j.BuildQueue != nil {
+			j.BuildQueue.Reset()
+		}
+		locals = make([]*buildPartitioner, len(j.BuildFrags))
+		for i := range locals {
+			locals[i] = newBuildPartitioner(bschema, j.BuildKey, j.nparts)
+		}
+		if err := RunFragments(ctx, "hashjoin:build", j.BuildFrags, func(w int, wctx *Ctx, b *table.Batch) error {
+			locals[w].absorb(wctx, b)
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
-	if err := j.Build.Close(ctx); err != nil {
-		return err
+
+	// Phase 2: concatenate the workers' shares of each partition (worker
+	// order within a partition, partitions in order) into one build batch,
+	// recording every partition's global row span. The serial path (one
+	// worker, one partition) adopts the materialised rows as-is — absorb
+	// already copied them once.
+	j.buildBytes = 0
+	spans := make([][2]int, nparts)
+	if len(locals) == 1 && nparts == 1 {
+		j.buildB = locals[0].parts[0]
+		locals[0].parts[0] = nil
+		spans[0] = [2]int{0, j.buildB.Rows()}
+	} else {
+		j.buildB = table.NewBatch(bschema, 0)
+		for p := 0; p < nparts; p++ {
+			lo := j.buildB.Rows()
+			for _, l := range locals {
+				j.buildB.AppendBatch(l.parts[p])
+				l.parts[p] = nil
+			}
+			spans[p] = [2]int{lo, j.buildB.Rows()}
+		}
+	}
+	for _, l := range locals {
+		j.buildBytes += l.bytes
 	}
 	if ctx.MemBudgetBytes > 0 && j.buildBytes > ctx.MemBudgetBytes {
 		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d)",
 			j.buildBytes, ctx.MemBudgetBytes)
 	}
-	// Hash the raw key column, unboxed.
+
+	// Phase 3: build each partition's typed hash table over its row span —
+	// one process per partition when the build was fragmented, inline for
+	// the serial plan. Values are global buildB row indexes, so the probe
+	// and output paths are partition-agnostic.
 	kv := j.buildB.Vecs[j.BuildKey]
 	j.htI, j.htF, j.htS = nil, nil, nil
-	switch kv.Type.Physical() {
+	phys := kv.Type.Physical()
+	switch phys {
 	case table.PhysInt:
-		j.htI = make(map[int64][]int32, kv.Len())
-		for i, x := range kv.I {
-			j.htI[x] = append(j.htI[x], int32(i))
-		}
+		j.htI = make([]map[int64][]int32, nparts)
 	case table.PhysFloat:
-		j.htF = make(map[float64][]int32, kv.Len())
-		for i, x := range kv.F {
-			j.htF[x] = append(j.htF[x], int32(i))
-		}
+		j.htF = make([]map[float64][]int32, nparts)
 	default:
-		j.htS = make(map[string][]int32, kv.Len())
-		for i, x := range kv.S {
-			j.htS[x] = append(j.htS[x], int32(i))
+		j.htS = make([]map[string][]int32, nparts)
+	}
+	buildPart := func(p int) {
+		lo, hi := spans[p][0], spans[p][1]
+		switch phys {
+		case table.PhysInt:
+			ht := make(map[int64][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.I[i]] = append(ht[kv.I[i]], int32(i))
+			}
+			j.htI[p] = ht
+		case table.PhysFloat:
+			ht := make(map[float64][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.F[i]] = append(ht[kv.F[i]], int32(i))
+			}
+			j.htF[p] = ht
+		default:
+			ht := make(map[string][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.S[i]] = append(ht[kv.S[i]], int32(i))
+			}
+			j.htS[p] = ht
+		}
+	}
+	if j.BuildFrags != nil && nparts > 1 {
+		if err := ParDo(ctx, "hashjoin:tables", nparts, func(p int, wctx *Ctx) error {
+			buildPart(p)
+			return nil
+		}); err != nil {
+			return err
+		}
+	} else {
+		for p := 0; p < nparts; p++ {
+			buildPart(p)
 		}
 	}
 	return j.Probe.Open(ctx)
 }
 
-// probeHT probes the typed hash table with the probe batch's key column,
+// probeHT probes one typed hash table with the probe batch's key column,
 // honouring a selection vector when one rides on the batch (sel == nil
 // probes every physical row). Matching (build, probe) physical index
 // pairs are appended to bsel/psel.
@@ -144,6 +331,28 @@ func probeHT[T comparable](ht map[T][]int32, key []T, sel, bsel, psel []int32) (
 	return bsel, psel
 }
 
+// probePartHT routes every probe key to its partition — the same hash the
+// build side filed it under — and probes that partition's table.
+func probePartHT[T comparable](hts []map[T][]int32, hash func(T) uint32, mask uint32, key []T, sel, bsel, psel []int32) ([]int32, []int32) {
+	if sel == nil {
+		for r, x := range key {
+			for _, bi := range hts[hash(x)&mask][x] {
+				bsel = append(bsel, bi)
+				psel = append(psel, int32(r))
+			}
+		}
+		return bsel, psel
+	}
+	for _, pi := range sel {
+		x := key[pi]
+		for _, bi := range hts[hash(x)&mask][x] {
+			bsel = append(bsel, bi)
+			psel = append(psel, pi)
+		}
+	}
+	return bsel, psel
+}
+
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 	for {
@@ -157,13 +366,26 @@ func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
 		ctx.ChargeRows(pb.Rows(), ctx.Costs.HashProbeCyclesPerRow)
 		bsel, psel := j.bsel[:0], j.psel[:0]
 		kv := pb.Vecs[j.ProbeKey]
+		mask := j.nparts - 1
 		switch kv.Type.Physical() {
 		case table.PhysInt:
-			bsel, psel = probeHT(j.htI, kv.I, pb.Sel, bsel, psel)
+			if j.nparts == 1 {
+				bsel, psel = probeHT(j.htI[0], kv.I, pb.Sel, bsel, psel)
+			} else {
+				bsel, psel = probePartHT(j.htI, hashInt64, mask, kv.I, pb.Sel, bsel, psel)
+			}
 		case table.PhysFloat:
-			bsel, psel = probeHT(j.htF, kv.F, pb.Sel, bsel, psel)
+			if j.nparts == 1 {
+				bsel, psel = probeHT(j.htF[0], kv.F, pb.Sel, bsel, psel)
+			} else {
+				bsel, psel = probePartHT(j.htF, hashFloat64, mask, kv.F, pb.Sel, bsel, psel)
+			}
 		default:
-			bsel, psel = probeHT(j.htS, kv.S, pb.Sel, bsel, psel)
+			if j.nparts == 1 {
+				bsel, psel = probeHT(j.htS[0], kv.S, pb.Sel, bsel, psel)
+			} else {
+				bsel, psel = probePartHT(j.htS, hashString, mask, kv.S, pb.Sel, bsel, psel)
+			}
 		}
 		j.bsel, j.psel = bsel, psel
 		if len(psel) == 0 {

@@ -39,12 +39,26 @@ func NewMorsels(totalBlocks, morselBlocks int) *Morsels {
 
 // Claim hands out the next unclaimed block range [lo, hi); ok reports
 // whether any work remained.
+//
+// Near the tail the chunk shrinks: once fewer than two full morsels
+// remain, each claim takes half the remaining blocks (rounded up) instead
+// of a full morsel, so the final claims taper off and the last worker to
+// ask never walks away with one big straggler chunk while its siblings sit
+// idle. A dispenser whose morsel covers the whole range (the serial scan's
+// private dispenser) is exempt — there are no siblings to balance against.
 func (m *Morsels) Claim() (lo, hi int, ok bool) {
-	if m.next >= m.total {
+	rem := m.total - m.next
+	if rem <= 0 {
 		return 0, 0, false
 	}
+	size := m.size
+	if size < m.total && rem <= 2*size {
+		if half := (rem + 1) / 2; half < size {
+			size = half
+		}
+	}
 	lo = m.next
-	hi = lo + m.size
+	hi = lo + size
 	if hi > m.total {
 		hi = m.total
 	}
@@ -63,9 +77,11 @@ type parItem struct {
 	done  bool // worker exited (err, if any, rides along)
 }
 
-// Parallel is the exchange/merge operator of the morsel-driven scan path:
-// it runs DOP fragment operators, each in its own simulated process, and
-// merges their batches into one stream in completion order.
+// Parallel is the streaming flavour of the exchange layer (see
+// exchange.go): it runs DOP fragment operators, each in its own simulated
+// process, and merges their batches into one stream in completion order.
+// Pipelines that accumulate rather than stream (partitioned aggregation,
+// join builds) use the RunFragments barrier exchange instead.
 //
 // Contract. Every fragment is a scan over the same stored table whose
 // Morsels field points at one shared dispenser, so together the fragments

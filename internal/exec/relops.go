@@ -68,13 +68,21 @@ func (f *Filter) Next(ctx *Ctx) (*table.Batch, error) {
 // Close implements Operator.
 func (f *Filter) Close(ctx *Ctx) error { return f.In.Close(ctx) }
 
+// compactDensity is the selection density below which Project compacts a
+// selected input batch before evaluating arithmetic: Arith kernels run
+// over physical rows, so once fewer than half the rows are selected the
+// one-off gather is cheaper than the arithmetic wasted on deselected rows.
+const compactDensity = 0.5
+
 // Project evaluates scalar expressions into a new batch.
 type Project struct {
 	In    Operator
 	Exprs []Scalar
 	Names []string
 
-	schema *table.Schema
+	schema  *table.Schema
+	arith   bool         // some expression does per-row arithmetic
+	scratch *table.Batch // reusable compaction buffer for sparse selections
 }
 
 // NewProject builds a projection; names label the output columns.
@@ -83,10 +91,14 @@ func NewProject(in Operator, exprs []Scalar, names []string) *Project {
 		panic(fmt.Sprintf("exec: %d exprs, %d names", len(exprs), len(names)))
 	}
 	cols := make([]table.Column, len(exprs))
+	arith := false
 	for i, e := range exprs {
 		cols[i] = table.Col(names[i], e.Type(in.Schema()))
+		if _, ok := e.(*Arith); ok {
+			arith = true
+		}
 	}
-	return &Project{In: in, Exprs: exprs, Names: names,
+	return &Project{In: in, Exprs: exprs, Names: names, arith: arith,
 		schema: table.NewSchema(in.Schema().Name, cols...)}
 }
 
@@ -97,12 +109,26 @@ func (p *Project) Schema() *table.Schema { return p.schema }
 func (p *Project) Open(ctx *Ctx) error { return p.In.Open(ctx) }
 
 // Next implements Operator. Expressions evaluate over the child's
-// physical rows; an incoming selection is not compacted here but composed
-// onto the output batch, so filter→project chains stay gather-free.
+// physical rows; an incoming selection is normally not compacted here but
+// composed onto the output batch, so filter→project chains stay
+// gather-free. The exception is a very sparse selection feeding
+// arithmetic: below compactDensity the batch is gathered once into a
+// scratch buffer first, so Arith kernels stop burning cycles on rows a
+// filter already dropped.
 func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 	b, err := p.In.Next(ctx)
 	if err != nil || b == nil {
 		return nil, err
+	}
+	if p.arith && b.Sel != nil {
+		if phys := b.PhysRows(); phys > 0 && float64(b.Rows()) < compactDensity*float64(phys) {
+			if p.scratch == nil {
+				p.scratch = table.NewBatch(p.In.Schema(), b.Rows())
+			}
+			p.scratch.Reset()
+			p.scratch.AppendBatch(b)
+			b = p.scratch
+		}
 	}
 	out := &table.Batch{Schema: p.schema, Vecs: make([]*table.Vector, len(p.Exprs))}
 	for i, e := range p.Exprs {
@@ -117,7 +143,10 @@ func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 }
 
 // Close implements Operator.
-func (p *Project) Close(ctx *Ctx) error { return p.In.Close(ctx) }
+func (p *Project) Close(ctx *Ctx) error {
+	p.scratch = nil
+	return p.In.Close(ctx)
+}
 
 // Limit passes through at most N rows; N <= 0 yields an empty result
 // without pulling from the child at all.

@@ -50,6 +50,7 @@ type CPU struct {
 	busyTime   float64 // core-seconds of work executed
 	lastChange float64
 	busyCores  int
+	peakBusy   int     // most cores simultaneously busy since construction
 	totalWork  float64 // cycles executed
 }
 
@@ -76,6 +77,9 @@ func (c *CPU) onBusy(n int) {
 	c.busyTime += float64(c.busyCores) * (now - c.lastChange)
 	c.lastChange = now
 	c.busyCores = n
+	if n > c.peakBusy {
+		c.peakBusy = n
+	}
 	c.trace.Set(energy.Seconds(now), c.powerAt(n))
 }
 
@@ -126,6 +130,12 @@ func (c *CPU) Use(p *sim.Proc, cycles float64) {
 func (c *CPU) UseBytes(p *sim.Proc, bytes int64) {
 	c.Use(p, float64(bytes)*c.spec.CyclesPerByte)
 }
+
+// PeakBusyCores reports the most cores observed simultaneously busy since
+// construction — the *realised* (as opposed to planned) degree of
+// parallelism, which the exchange-layer tests assert actually rose when a
+// plan fanned out worker processes.
+func (c *CPU) PeakBusyCores() int { return c.peakBusy }
 
 // BusyCoreSeconds reports accumulated core-seconds of executed work.
 func (c *CPU) BusyCoreSeconds() float64 {

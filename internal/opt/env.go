@@ -39,6 +39,13 @@ type Env struct {
 	CPUFreqHz float64
 	Cores     int
 
+	// MaxPipelineDOP caps the degree of parallelism the optimizer may buy
+	// for pipeline fragments above the scan (partitioned aggregation and
+	// hash-join builds); 0 leaves it bounded only by Cores. Scan-level
+	// parallelism is unaffected. Multi-stream drivers use it as a crude
+	// admission control until DOP is priced against free cores.
+	MaxPipelineDOP int
+
 	// ScanBW is the aggregate sequential bandwidth of the data volume
 	// (bytes/s); PageLatency the per-page fixed cost; PageBytes the page
 	// size.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -544,5 +545,131 @@ func TestParallelScanCostModel(t *testing.T) {
 	}
 	if c4.Joules > c1.Joules*1.5 {
 		t.Fatalf("dop=4 startup overhead too large: %v vs %v", c4, c1)
+	}
+}
+
+// aggQuery is a many-group GROUP BY + SUM over the fact table.
+func aggQuery() *Query {
+	return &Query{
+		Tables: []string{"f"},
+		Rels:   map[string]string{"f": "fact"},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_dim"}}, As: "k"},
+			{Agg: &AggIR{Func: exec.Count, As: "n"}},
+			{Agg: &AggIR{Func: exec.Sum, Arg: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "s"}},
+		},
+		GroupBy: []ColRef{{Table: "f", Col: "f_dim"}},
+		Limit:   -1,
+	}
+}
+
+// TestParallelAggDOPChoice: with a CPU-bound pipeline on a multi-core Env,
+// MinTime must fragment the whole scan→project→aggregate pipeline (agg
+// line carries dop=) while MinEnergy keeps the aggregation serial, and the
+// two plans must execute to identical results (integer aggregates only, so
+// equality is exact at any DOP). Capping Env.MaxPipelineDOP must pin the
+// aggregation serial without touching scan parallelism.
+func TestParallelAggDOPChoice(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	w.env.Cores = 8
+	w.env.ScanBW *= 8
+	w.env.PageLatency /= 50
+
+	aggDop := regexp.MustCompile(`(?m)^\s*agg .*dop=`)
+	fast, err := Optimize(aggQuery(), w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aggDop.MatchString(fast.Explain()) {
+		t.Fatalf("MinTime kept the aggregation serial on an 8-core env:\n%s", fast.Explain())
+	}
+	lean, err := Optimize(aggQuery(), w.cat, w.env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggDop.MatchString(lean.Explain()) {
+		t.Fatalf("MinEnergy bought parallel aggregation (joules are flat in DOP):\n%s", lean.Explain())
+	}
+	if fast.Cost().Seconds >= lean.Cost().Seconds {
+		t.Fatalf("parallel agg models no speedup: %v vs %v", fast.Cost(), lean.Cost())
+	}
+	if lean.Cost().Joules > fast.Cost().Joules {
+		t.Fatalf("MinEnergy plan hotter than MinTime plan: %v vs %v", lean.Cost(), fast.Cost())
+	}
+
+	w.env.MaxPipelineDOP = 1
+	capped, err := Optimize(aggQuery(), w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggDop.MatchString(capped.Explain()) {
+		t.Fatalf("MaxPipelineDOP=1 still fragmented the aggregation:\n%s", capped.Explain())
+	}
+	w.env.MaxPipelineDOP = 0
+
+	got := w.execute(t, fast)
+	want := w.execute(t, lean)
+	if got.Rows() != want.Rows() {
+		t.Fatalf("group counts differ: %d vs %d", got.Rows(), want.Rows())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		for c := range want.Schema.Cols {
+			if want.Column(c).Value(i).Compare(got.Column(c).Value(i)) != 0 {
+				t.Fatalf("row %d col %d: %v vs %v", i, c,
+					got.Column(c).Value(i), want.Column(c).Value(i))
+			}
+		}
+	}
+}
+
+// TestParallelJoinBuildDOPChoice: MinTime must fragment a hash-join build
+// rooted at a scan (build_dop=), MinEnergy must not, and both plans must
+// join to the same multiset of rows.
+func TestParallelJoinBuildDOPChoice(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	w.env.Cores = 8
+	w.env.ScanBW *= 8
+	w.env.PageLatency /= 50
+
+	q := func() *Query {
+		return &Query{
+			Tables: []string{"f", "d"},
+			Rels:   map[string]string{"f": "fact", "d": "dim"},
+			Preds: []PredIR{
+				{Left: col("f", "f_dim"), Op: exec.Eq, Right: col("d", "d_key"), IsJoin: true},
+			},
+			Outputs: []OutputIR{
+				{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+				{Expr: &ExprIR{Col: &ColRef{Table: "d", Col: "d_name"}}, As: "name"},
+			},
+			Limit: -1,
+		}
+	}
+	fast, err := Optimize(q(), w.cat, w.env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fast.Explain(), "build_dop=") {
+		t.Fatalf("MinTime kept the join build serial on an 8-core env:\n%s", fast.Explain())
+	}
+	lean, err := Optimize(q(), w.cat, w.env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lean.Explain(), "build_dop=") {
+		t.Fatalf("MinEnergy bought a parallel join build:\n%s", lean.Explain())
+	}
+
+	count := func(tab *table.Table) (int, float64) {
+		var ks float64
+		for i := 0; i < tab.Rows(); i++ {
+			ks += float64(tab.Column(0).I[i])
+		}
+		return tab.Rows(), ks
+	}
+	gotN, gotK := count(w.execute(t, fast))
+	wantN, wantK := count(w.execute(t, lean))
+	if gotN != wantN || gotK != wantK {
+		t.Fatalf("parallel build result (%d, %v) != serial (%d, %v)", gotN, gotK, wantN, wantK)
 	}
 }

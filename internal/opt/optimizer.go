@@ -290,22 +290,46 @@ func (o *optimizer) dopCandidates(st *exec.StoredTable, readCols int) []int {
 	return append(dops, maxDop)
 }
 
-// scanCost prices a dop-way scan of the given columns of st. A column scan
-// that reads no columns (count-only plan) touches neither the volume nor
-// the data: it emits block cardinality from placement metadata for free.
-//
-// Parallelism divides CPU time across dop cores but not I/O time — the
-// fragments share the same volume bandwidth — so elapsed time approaches
-// max(io, cpu/dop) while the joule account is unchanged: the same
-// core-seconds of work at the same active watts, plus a small startup
-// overhead per extra worker.
-func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms, dop int) Cost {
+// pipelineDops is the DOP sweep for whole pipeline fragments above the
+// scan (partitioned aggregation, partitioned join builds): the scan's
+// candidates, additionally capped by Env.MaxPipelineDOP.
+func (o *optimizer) pipelineDops(st *exec.StoredTable, readCols int) []int {
+	dops := o.dopCandidates(st, readCols)
+	if lim := o.env.MaxPipelineDOP; lim > 0 {
+		capped := make([]int, 0, len(dops))
+		for _, d := range dops {
+			if d <= lim {
+				capped = append(capped, d)
+			}
+		}
+		if len(capped) == 0 {
+			capped = []int{1}
+		}
+		dops = capped
+	}
+	return dops
+}
+
+// scanWork is the decomposed cost of one table scan: I/O elapsed seconds,
+// single-core CPU seconds, and the storage energy — the pieces
+// pipeline-level parallelism recombines. CPU divides by DOP; I/O time and
+// every joule do not (the fragments share the volume's bandwidth and the
+// work is the same regardless of how many cores execute it).
+type scanWork struct {
+	ioSecs    float64
+	cpuSecs   float64
+	ioJoules  float64
+	pipelined bool // column scans overlap I/O with CPU; row scans read-then-parse
+}
+
+// scanWork decomposes the cost of scanning the given columns of st. A
+// column scan that reads no columns (count-only plan) touches neither the
+// volume nor the data: it emits block cardinality from placement metadata
+// for free.
+func (o *optimizer) scanWork(st *exec.StoredTable, readCols []int, rows float64, predTerms int) scanWork {
 	env := o.env
 	if st.Layout == exec.ColumnMajor && len(readCols) == 0 {
-		return Cost{}
-	}
-	if dop < 1 {
-		dop = 1
+		return scanWork{pipelined: true}
 	}
 	var encBytes, rawBytes, decodeCycles float64
 	if st.Layout == exec.ColumnMajor {
@@ -325,18 +349,44 @@ func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64,
 	ioTime := encBytes/env.ScanBW + pages*env.PageLatency
 	cpuCycles := decodeCycles + rawBytes*env.Costs.ScanCyclesPerByte +
 		rows*float64(predTerms)*env.Costs.FilterCyclesPerRow
-	cpuTime := cpuCycles / env.CPUFreqHz
-	startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
-
-	var secs float64
-	if st.Layout == exec.ColumnMajor {
-		secs = math.Max(ioTime, cpuTime/float64(dop)) // pipelined scan overlaps I/O and CPU
-	} else {
-		secs = ioTime + cpuTime/float64(dop) // row scan is read-then-parse
+	return scanWork{
+		ioSecs:    ioTime,
+		cpuSecs:   cpuCycles / env.CPUFreqHz,
+		ioJoules:  ioTime * env.StorageWatt,
+		pipelined: st.Layout == exec.ColumnMajor,
 	}
+}
+
+// elapsed is the scan's wall time when its CPU work — plus extraCPUSecs of
+// downstream pipeline work fragmented along with it — runs dop-wide.
+func (w scanWork) elapsed(extraCPUSecs float64, dop int) float64 {
+	cpu := (w.cpuSecs + extraCPUSecs) / float64(dop)
+	if w.pipelined {
+		return math.Max(w.ioSecs, cpu)
+	}
+	return w.ioSecs + cpu
+}
+
+// scanCost prices a dop-way scan of the given columns of st.
+//
+// Parallelism divides CPU time across dop cores but not I/O time — the
+// fragments share the same volume bandwidth — so elapsed time approaches
+// max(io, cpu/dop) while the joule account is unchanged: the same
+// core-seconds of work at the same active watts, plus a small startup
+// overhead per extra worker.
+func (o *optimizer) scanCost(st *exec.StoredTable, readCols []int, rows float64, predTerms, dop int) Cost {
+	if st.Layout == exec.ColumnMajor && len(readCols) == 0 {
+		return Cost{}
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	env := o.env
+	w := o.scanWork(st, readCols, rows, predTerms)
+	startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
 	return Cost{
-		Seconds: secs + startup,
-		Joules:  (cpuTime+startup)*env.CPUWattPerCore + ioTime*env.StorageWatt,
+		Seconds: w.elapsed(0, dop) + startup,
+		Joules:  (w.cpuSecs+startup)*env.CPUWattPerCore + w.ioJoules,
 	}
 }
 
@@ -477,6 +527,36 @@ func (o *optimizer) joinCandidates(l, r PhysNode, lc, rc ColRef, jp PredIR) []Ph
 		})
 		out = append(out, &PJoin{Algo: "hash", Left: build, Right: probe,
 			LeftCol: bi, RightCol: pi, Pred: jp, cols: cs, card: outCard, cost: c})
+
+		// Partitioned parallel build: when the build side is a bare scan,
+		// the whole scan→partition→insert pipeline fragments dop-ways, so
+		// the build phase's elapsed time approaches max(io, cpu/dop) while
+		// its joules only grow by worker startup — the probe is unchanged.
+		bs, ok := build.(*PScan)
+		if !ok {
+			return
+		}
+		w := o.scanWork(bs.Variant.ST, bs.Read, float64(bs.Variant.ST.Tab.Rows()), len(bs.Preds))
+		buildCPU := build.Card() * env.Costs.HashBuildCyclesPerRow / env.CPUFreqHz
+		probeSecs := (probe.Card()*env.Costs.HashProbeCyclesPerRow +
+			outCard*env.Costs.JoinOutputCyclesPerRow) / env.CPUFreqHz
+		for _, dop := range o.pipelineDops(bs.Variant.ST, len(bs.Read)) {
+			if dop <= 1 {
+				continue
+			}
+			startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
+			buildSecs := w.elapsed(buildCPU, dop) + startup
+			pelapsed := buildSecs + probe.Cost().Seconds + probeSecs
+			pc := probe.Cost().Add(Cost{
+				Seconds: buildSecs + probeSecs,
+				Joules: (w.cpuSecs+buildCPU+startup+probeSecs)*env.CPUWattPerCore +
+					w.ioJoules + buildMem*env.DRAMWattPerByte*pelapsed,
+				MemBytes: int64(buildMem),
+			})
+			out = append(out, &PJoin{Algo: "hash", Left: build, Right: probe,
+				LeftCol: bi, RightCol: pi, Pred: jp, BuildDOP: dop,
+				cols: cs, card: outCard, cost: pc})
+		}
 	}
 	mkHash(l, r, li, ri, cols)
 	mkHash(r, l, ri, li, colsRev)
@@ -591,8 +671,42 @@ func (o *optimizer) buildAgg(in PhysNode) (PhysNode, error) {
 		MemBytes: mem,
 	})
 	outCols := append(append([]ColRef{}, o.q.GroupBy...), aggRefs...)
-	return &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
-		cols: outCols, card: groups, cost: aggCost}, nil
+	best := &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
+		cols: outCols, card: groups, cost: aggCost}
+	bestScore := aggCost.Score(o.obj)
+
+	// Extend the DOP sweep to the whole pipeline: when the aggregation sits
+	// directly on a scan, price fragmenting scan+project+partial-agg
+	// dop-ways followed by a partition-wise parallel merge. Elapsed time
+	// approaches max(io, pipelineCPU/dop) plus a merge term; joules stay
+	// flat in dop except for the dop× partial groups the merge folds and
+	// the per-worker startup overhead (two process waves: fragments, then
+	// merge workers), so MinTime buys parallel aggregation while MinEnergy
+	// keeps the serial plan — per operator, not just per scan.
+	if scan, ok := in.(*PScan); ok {
+		env := o.env
+		w := o.scanWork(scan.Variant.ST, scan.Read, float64(scan.Variant.ST.Tab.Rows()), len(scan.Preds))
+		projCycles := in.Card() * float64(len(exprs)) * env.Costs.ProjectCyclesPerRow
+		foldCycles := groups * float64(maxInt(1, len(aggs))) * env.Costs.AggCyclesPerRow
+		for _, dop := range o.pipelineDops(scan.Variant.ST, len(scan.Read)) {
+			if dop <= 1 {
+				continue
+			}
+			pipeCPU := (projCycles + aggCycles) / env.CPUFreqHz
+			startup := float64(2*(dop-1)) * parallelStartupCycles / env.CPUFreqHz
+			mergeSecs := foldCycles / env.CPUFreqHz // dop merge workers fold dop partials in parallel
+			secs := w.elapsed(pipeCPU, dop) + mergeSecs + startup
+			joules := (w.cpuSecs+pipeCPU+startup)*env.CPUWattPerCore + w.ioJoules +
+				float64(dop)*foldCycles/env.CPUFreqHz*env.CPUWattPerCore
+			c := Cost{Seconds: secs, Joules: joules, MemBytes: int64(dop) * mem}
+			if c.Score(o.obj) < bestScore {
+				best = &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
+					DOP: dop, cols: outCols, card: groups, cost: c}
+				bestScore = c.Score(o.obj)
+			}
+		}
+	}
+	return best, nil
 }
 
 // buildFinalSelect reorders the aggregate node's output (group columns

@@ -74,6 +74,16 @@ func colIndex(cols []ColRef, c ColRef) int {
 	return -1
 }
 
+// fragSource is implemented by physical nodes that can compile themselves
+// into dop parallel fragment pipelines sharing one morsel dispenser, so
+// exchange consumers — the Parallel streaming merge, partitioned
+// aggregation and partitioned join builds — can parallelise the whole
+// pipeline above the scan rather than just the scan itself. Fewer
+// fragments than dop may come back when the table has too few blocks.
+type fragSource interface {
+	BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error)
+}
+
 // PScan scans one placement variant with pushed-down predicates, possibly
 // as a DOP-way parallel morsel-driven scan.
 type PScan struct {
@@ -116,66 +126,74 @@ func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	if nb := s.Variant.ST.NumBlocks(); dop > nb {
 		dop = nb
 	}
-	if dop < 1 {
-		dop = 1
+	if dop > 1 {
+		frags, queue, err := s.BuildFragments(ctx, dop)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewParallel(frags, queue), nil
 	}
 	if s.Variant.ST.Layout == exec.ColumnMajor {
-		if dop > 1 {
-			return buildParallel(s.Variant.ST.NumBlocks(), dop, func(q *exec.Morsels) (exec.Operator, error) {
-				pred, err := s.execPred()
-				if err != nil {
-					return nil, err
-				}
-				cs := exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred)
-				cs.Morsels = q
-				return cs, nil
-			})
-		}
 		pred, err := s.execPred()
 		if err != nil {
 			return nil, err
 		}
 		return exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred), nil
 	}
-	// Row scans read the full schema; Read positions are source positions.
-	emit := make([]int, len(s.Emit))
-	for i, e := range s.Emit {
-		emit[i] = s.Read[e]
-	}
-	if dop > 1 {
-		return buildParallel(s.Variant.ST.NumBlocks(), dop, func(q *exec.Morsels) (exec.Operator, error) {
-			rowPred, err := s.execPredFull()
-			if err != nil {
-				return nil, err
-			}
-			rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
-			rs.Window = 2 // per-fragment readahead; dop fragments stream at once
-			rs.Morsels = q
-			return rs, nil
-		})
-	}
 	rowPred, err := s.execPredFull()
 	if err != nil {
 		return nil, err
 	}
-	rs := exec.NewRowScan(s.Variant.ST, emit, rowPred)
+	rs := exec.NewRowScan(s.Variant.ST, s.rowEmit(), rowPred)
 	rs.Window = 4 // planner scans are big: pipeline with readahead
 	return rs, nil
 }
 
-// buildParallel fans dop fragments built by newFrag (each wired to the
-// given shared morsel queue) out under a Parallel merge.
-func buildParallel(nblocks, dop int, newFrag func(q *exec.Morsels) (exec.Operator, error)) (exec.Operator, error) {
-	queue := exec.NewMorsels(nblocks, 0)
+// rowEmit maps Emit positions (within Read) to full source schema
+// positions, which is what row scans project by.
+func (s *PScan) rowEmit() []int {
+	emit := make([]int, len(s.Emit))
+	for i, e := range s.Emit {
+		emit[i] = s.Read[e]
+	}
+	return emit
+}
+
+// BuildFragments implements fragSource: dop scan fragments sharing one
+// fresh morsel dispenser, each with its own predicate instance (predicates
+// carry evaluation scratch). The caller owns wiring them under an
+// exchange — a Parallel merge, a partitioned aggregation or a partitioned
+// join build — and resetting the dispenser on re-open.
+func (s *PScan) BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error) {
+	if nb := s.Variant.ST.NumBlocks(); dop > nb {
+		dop = nb
+	}
+	if dop < 1 {
+		dop = 1
+	}
+	queue := exec.NewMorsels(s.Variant.ST.NumBlocks(), 0)
 	frags := make([]exec.Operator, dop)
 	for i := range frags {
-		f, err := newFrag(queue)
-		if err != nil {
-			return nil, err
+		if s.Variant.ST.Layout == exec.ColumnMajor {
+			pred, err := s.execPred()
+			if err != nil {
+				return nil, nil, err
+			}
+			cs := exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred)
+			cs.Morsels = queue
+			frags[i] = cs
+		} else {
+			rowPred, err := s.execPredFull()
+			if err != nil {
+				return nil, nil, err
+			}
+			rs := exec.NewRowScan(s.Variant.ST, s.rowEmit(), rowPred)
+			rs.Window = 2 // per-fragment readahead; dop fragments stream at once
+			rs.Morsels = queue
+			frags[i] = rs
 		}
-		frags[i] = f
 	}
-	return exec.NewParallel(frags, queue), nil
+	return frags, queue, nil
 }
 
 // execPred translates the pushed predicates to positions within Read.
@@ -247,6 +265,7 @@ type PJoin struct {
 	LeftCol  int
 	RightCol int
 	Pred     PredIR // the equality predicate this join applies
+	BuildDOP int    // hash only: fragment the build pipeline this many ways; <= 1 serial
 
 	cols []ColRef
 	card float64
@@ -265,8 +284,27 @@ func (j *PJoin) RowBytes() float64 { return j.Left.RowBytes() + j.Right.RowBytes
 // Cost implements PhysNode.
 func (j *PJoin) Cost() Cost { return j.cost }
 
-// Build implements PhysNode.
+// Build implements PhysNode. A hash join with BuildDOP > 1 over a
+// fragmentable build side compiles the build pipeline into fragments under
+// the partitioned build — the fragments hash-partition rows by key and the
+// per-partition tables build concurrently; the probe routes through the
+// same partitioning.
 func (j *PJoin) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	if j.Algo == "hash" && j.BuildDOP > 1 {
+		if fs, ok := j.Left.(fragSource); ok {
+			frags, queue, err := fs.BuildFragments(ctx, j.BuildDOP)
+			if err != nil {
+				return nil, err
+			}
+			if len(frags) > 1 {
+				r, err := j.Right.Build(ctx)
+				if err != nil {
+					return nil, err
+				}
+				return exec.NewPartitionedHashJoin(frags, queue, r, j.LeftCol, j.RightCol, len(frags)), nil
+			}
+		}
+	}
 	l, err := j.Left.Build(ctx)
 	if err != nil {
 		return nil, err
@@ -282,7 +320,11 @@ func (j *PJoin) Build(ctx *exec.Ctx) (exec.Operator, error) {
 }
 
 func (j *PJoin) explain(b *strings.Builder, indent string) {
-	fmt.Fprintf(b, "%s%s join on L.%d = R.%d rows≈%.0f %v\n", indent, j.Algo, j.LeftCol, j.RightCol, j.card, j.cost)
+	fmt.Fprintf(b, "%s%s join on L.%d = R.%d rows≈%.0f %v", indent, j.Algo, j.LeftCol, j.RightCol, j.card, j.cost)
+	if j.BuildDOP > 1 {
+		fmt.Fprintf(b, " build_dop=%d", j.BuildDOP)
+	}
+	b.WriteByte('\n')
 	j.Left.explain(b, indent+"  ")
 	j.Right.explain(b, indent+"  ")
 }
@@ -375,6 +417,13 @@ func (p *PProject) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.wrap(in)
+}
+
+// wrap puts this projection over one input operator with fresh scalar
+// instances (expression trees are stateless today, but fragments must not
+// share operators regardless).
+func (p *PProject) wrap(in exec.Operator) (exec.Operator, error) {
 	cols := p.In.Columns()
 	exprs := make([]exec.Scalar, len(p.Exprs))
 	for i, e := range p.Exprs {
@@ -385,6 +434,28 @@ func (p *PProject) Build(ctx *exec.Ctx) (exec.Operator, error) {
 		exprs[i] = ex
 	}
 	return exec.NewProject(in, exprs, p.Names), nil
+}
+
+// BuildFragments implements fragSource: the child's fragments each get
+// their own copy of the projection, so the whole scan→project pipeline
+// runs inside every worker.
+func (p *PProject) BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error) {
+	fs, ok := p.In.(fragSource)
+	if !ok {
+		return nil, nil, fmt.Errorf("opt: project input %T cannot fragment", p.In)
+	}
+	frags, queue, err := fs.BuildFragments(ctx, dop)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, f := range frags {
+		w, err := p.wrap(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		frags[i] = w
+	}
+	return frags, queue, nil
 }
 
 func buildScalar(e *ExprIR, cols []ColRef) (exec.Scalar, error) {
@@ -421,6 +492,7 @@ type PAgg struct {
 	Group   []int // child positions
 	Aggs    []exec.AggSpec
 	AggRefs []ColRef // output refs for aggregate columns
+	DOP     int      // fragment the input pipeline this many ways; <= 1 serial
 
 	cols []ColRef
 	card float64
@@ -439,8 +511,21 @@ func (a *PAgg) RowBytes() float64 { return float64(8 * (len(a.Group) + len(a.Agg
 // Cost implements PhysNode.
 func (a *PAgg) Cost() Cost { return a.cost }
 
-// Build implements PhysNode.
+// Build implements PhysNode. DOP > 1 over a fragmentable input compiles
+// the whole input pipeline into fragments under the partitioned parallel
+// aggregation (thread-local partial tables, partition-wise merge).
 func (a *PAgg) Build(ctx *exec.Ctx) (exec.Operator, error) {
+	if a.DOP > 1 {
+		if fs, ok := a.In.(fragSource); ok {
+			frags, queue, err := fs.BuildFragments(ctx, a.DOP)
+			if err != nil {
+				return nil, err
+			}
+			if len(frags) > 1 {
+				return exec.NewPartitionedHashAgg(frags, queue, a.Group, a.Aggs), nil
+			}
+		}
+	}
 	in, err := a.In.Build(ctx)
 	if err != nil {
 		return nil, err
@@ -449,7 +534,11 @@ func (a *PAgg) Build(ctx *exec.Ctx) (exec.Operator, error) {
 }
 
 func (a *PAgg) explain(b *strings.Builder, indent string) {
-	fmt.Fprintf(b, "%sagg groups≈%.0f aggs=%d %v\n", indent, a.card, len(a.Aggs), a.cost)
+	fmt.Fprintf(b, "%sagg groups≈%.0f aggs=%d %v", indent, a.card, len(a.Aggs), a.cost)
+	if a.DOP > 1 {
+		fmt.Fprintf(b, " dop=%d", a.DOP)
+	}
+	b.WriteByte('\n')
 	a.In.explain(b, indent+"  ")
 }
 
