@@ -27,6 +27,25 @@ func BenchmarkFigure1(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentStreams drives 8 concurrent sessions through the
+// admission-controlled Session API and reports the makespan plus the
+// attribution ledger (Σ per-query attributed joules vs the wall meter).
+func BenchmarkConcurrentStreams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunStreams(bench.StreamsConfig{Streams: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Seconds*1000, "sim_ms")
+		b.ReportMetric(r.MeterJ, "meter_J")
+		b.ReportMetric(r.AttributionError(), "attr_gap")
+		b.ReportMetric(float64(r.Admission.PeakActive), "peak_active")
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
 // BenchmarkFigure2 reproduces the compressed-vs-raw scan (Figure 2).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {

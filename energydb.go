@@ -7,13 +7,38 @@
 // The engine is real (SQL front end, cost-based optimizer, vectorised
 // executor, compression, buffer pool, WAL); the hardware is a
 // deterministic discrete-event simulation with calibrated 2008-era device
-// models, so every query returns joules alongside rows:
+// models, so every query returns joules alongside rows. Queries run
+// through sessions: a Session is one client's serial statement stream,
+// Prepare binds a statement once, and Query submits it to the engine's
+// admission controller, which grants the query its degree of parallelism
+// from the cores that are free at admission time and queues arrivals when
+// the box is saturated. Results stream back through Rows:
 //
 //	db, _ := energydb.Open(energydb.Config{Server: energydb.SmallServer(4)})
 //	db.Exec("CREATE TABLE t (a BIGINT, b DOUBLE)")
-//	db.Exec("INSERT INTO t VALUES (1, 2.5)")
-//	res, _ := db.Exec("SELECT a FROM t WHERE b > 1")
-//	fmt.Println(res.Elapsed, res.Joules)
+//	db.Exec("INSERT INTO t VALUES (1, 2.5), (2, 0.5)")
+//
+//	sess := db.Session()
+//	stmt, _ := sess.Prepare("SELECT a FROM t WHERE b > 1")
+//	rows, _ := stmt.Query()
+//	for rows.Next() {
+//		_ = rows.Batch() // vectorised batches, as the query produces them
+//	}
+//	rows.Close()
+//
+//	res, _ := stmt.Query() // prepared statements re-execute cheaply
+//	r, _ := res.Collect()  // or materialise everything at once
+//	fmt.Println(r.Elapsed, r.Joules, r.Attributed, r.Granted)
+//
+// Because queries from concurrent sessions overlap on one metered server,
+// each Result carries two energy numbers: Joules is the whole-server
+// meter delta over the query's window (meaningful when it runs alone),
+// and Attributed is the query's own share — the marginal energy its
+// processes charged on the devices plus an idle-floor share proportional
+// to its wall-clock overlap — which sums to the wall meter across all
+// concurrent queries by construction. DB.Exec remains the one-statement
+// convenience wrapper over a session, and DB.Drain runs every submitted
+// statement to completion for multi-stream drivers.
 //
 // The optimizer prices every plan in both seconds and joules; switch
 // Config.Objective to MinEnergy to make it optimise the paper's way.
@@ -38,6 +63,17 @@ type DB = core.DB
 
 // Result is a completed query with its energy account.
 type Result = core.Result
+
+// Session is one client's serial statement stream; concurrency comes
+// from opening several sessions on one DB.
+type Session = core.Session
+
+// Stmt is a prepared SELECT, planned per admission grant.
+type Stmt = core.Stmt
+
+// Rows is a submitted statement's streaming result and, on completion,
+// its attributed energy account.
+type Rows = core.Rows
 
 // Open builds the simulated machine and an empty database on it.
 func Open(cfg Config) (*DB, error) { return core.Open(cfg) }

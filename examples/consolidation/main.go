@@ -1,6 +1,7 @@
-// The §4.2 story: consolidating work in time (admission batching) and in
-// space (cluster packing) creates idle periods long enough to power
-// hardware down.
+// The §4.2 story: the admission controller consolidates work in time
+// (holding arrivals in a window so disks can spin down between bursts)
+// and the cluster layer consolidates it in space (packing tenants onto
+// fewer nodes so whole servers can power down).
 package main
 
 import (
@@ -24,6 +25,6 @@ func main() {
 	}
 	fmt.Print(cl.Render())
 	fmt.Println()
-	fmt.Println("Batching buys disk spin-downs with latency; packing tenants onto fewer")
-	fmt.Println("nodes buys whole-server power-downs with migration energy.")
+	fmt.Println("Admission windows buy disk spin-downs with latency; packing tenants onto")
+	fmt.Println("fewer nodes buys whole-server power-downs with migration energy.")
 }

@@ -1,6 +1,10 @@
-// The paper's Figure 1 story: sweep the number of disks under a TPC-H
-// throughput test and find the energy-efficiency knee at an interior
-// configuration — the fastest system is not the most efficient one.
+// The paper's Figure 1 story, told on the session API: concurrent client
+// sessions submit the TPC-H mix, the admission controller grants each
+// query its parallelism from the cores that are free, and every query
+// comes back with an attributed energy bill that sums to the wall meter.
+// Then the classic sweep: re-partition the database across more and more
+// disks and find the energy-efficiency knee at an interior configuration
+// — the fastest system is not the most efficient one.
 package main
 
 import (
@@ -11,6 +15,16 @@ import (
 )
 
 func main() {
+	// Act 1: eight concurrent sessions on one small server — per-query
+	// energy attribution under admission-controlled concurrency.
+	st, err := bench.RunStreams(bench.StreamsConfig{Streams: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(st.Render())
+	fmt.Println()
+
+	// Act 2: the Figure 1 disk-count sweep, 24 such streams per point.
 	res, err := bench.RunFigure1(bench.Figure1Config{SF: 0.03})
 	if err != nil {
 		log.Fatal(err)

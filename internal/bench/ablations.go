@@ -177,7 +177,8 @@ type ConsolidationPoint struct {
 type ConsolidationResult struct{ Points []ConsolidationPoint }
 
 // RunConsolidation submits sparse scan jobs against a spin-down-capable
-// disk under several admission windows.
+// disk under several admission windows (the Admission controller's
+// batching mode, two job slots).
 func RunConsolidation() (*ConsolidationResult, error) {
 	res := &ConsolidationResult{}
 	for _, window := range []float64{0, 30, 90, 180} {
@@ -185,14 +186,14 @@ func RunConsolidation() (*ConsolidationResult, error) {
 		meter := energy.NewMeter()
 		d := hw.NewDisk(eng, meter, "d0", hw.Cheetah15K())
 		d.SpinDownAfter = 15
-		b := sched.NewBatcher(eng, window, 2)
+		adm := sched.NewAdmission(eng, 2, window)
 		rng := rand.New(rand.NewSource(11))
 		at := 0.0
 		for i := 0; i < 60; i++ {
 			at += 4 + rng.Float64()*8
 			off := int64(i%40) * 50 * 1e6
 			eng.At(at, "arrival", func() {
-				b.Submit(func(p *sim.Proc) { d.Read(p, off, 4*1e6) })
+				adm.Submit("scan", 1, func(p *sim.Proc, granted int) { d.Read(p, off, 4*1e6) })
 			})
 		}
 		if err := eng.Run(); err != nil {
@@ -202,7 +203,7 @@ func RunConsolidation() (*ConsolidationResult, error) {
 			WindowSec:   window,
 			DiskJoules:  float64(meter.ComponentEnergy("d0", energy.Seconds(eng.Now()))),
 			SpinDowns:   d.Stats().SpinDowns,
-			MeanLatency: b.Stats().MeanLatency(),
+			MeanLatency: adm.Stats().MeanLatency(),
 		})
 	}
 	return res, nil

@@ -89,6 +89,40 @@ func TestFigure1Shape(t *testing.T) {
 	if d := r.PerfDropVsFastest(); d < 0.10 || d > 0.70 {
 		t.Fatalf("perf drop vs fastest = %.2f, want in [0.10, 0.70]", d)
 	}
+	// Workload-level accounting is lossless: the 24 streams cover each
+	// run wall-to-wall, so per-query attributed joules sum to the wall
+	// meter at every disk count.
+	for _, p := range r.Points {
+		if diff := p.AttributedJ - p.Joules; diff < -1e-6*p.Joules || diff > 1e-6*p.Joules {
+			t.Fatalf("%d disks: attributed %.6f J vs meter %.6f J", p.Disks, p.AttributedJ, p.Joules)
+		}
+	}
+}
+
+func TestStreamsShape(t *testing.T) {
+	r, err := RunStreams(StreamsConfig{SF: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Streams) != 8 || r.Admission.Completed != 8*6 {
+		t.Fatalf("streams/queries: %d/%d", len(r.Streams), r.Admission.Completed)
+	}
+	// Attribution is lossless across the concurrent sessions.
+	if e := r.AttributionError(); e > 1e-6 {
+		t.Fatalf("attribution gap = %.3g", e)
+	}
+	// Every stream did real work and paid a real bill, part marginal,
+	// part idle floor.
+	for _, s := range r.Streams {
+		if s.Rows == 0 || s.AttributedJ <= 0 || s.MarginalJ <= 0 || s.MarginalJ >= s.AttributedJ {
+			t.Fatalf("stream bill: %+v", s)
+		}
+	}
+	// 8 streams on the SmallServer's 8 cores: admission never
+	// oversubscribes.
+	if r.Admission.PeakActive > 8 {
+		t.Fatalf("peak active = %d on 8 cores", r.Admission.PeakActive)
+	}
 }
 
 func TestJoinFlipShape(t *testing.T) {

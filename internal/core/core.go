@@ -7,7 +7,7 @@ package core
 
 import (
 	"fmt"
-	"strings"
+	"sort"
 
 	"energydb/internal/buffer"
 	"energydb/internal/compress"
@@ -15,6 +15,7 @@ import (
 	"energydb/internal/exec"
 	"energydb/internal/hw"
 	"energydb/internal/opt"
+	"energydb/internal/sched"
 	"energydb/internal/sim"
 	"energydb/internal/sql"
 	"energydb/internal/storage"
@@ -81,12 +82,22 @@ type DB struct {
 	Env       *opt.Env
 	Objective opt.Objective
 
-	cfg     Config
-	schemas map[string]*table.Schema
-	mem     map[string]*table.Table // in-memory (unplaced or dirty) tables
-	dirty   map[string]bool
-	fileSeq int32
-	queries int64
+	// Adm is the engine-resident admission controller: queries submitted
+	// through sessions are granted their degree of parallelism from the
+	// cores free at admission time, and queue when the box is saturated.
+	Adm *sched.Admission
+	// Attr splits the whole-server meter among concurrent queries.
+	Attr *energy.Attributor
+
+	cfg       Config
+	schemas   map[string]*table.Schema
+	mem       map[string]*table.Table // in-memory (unplaced or dirty) tables
+	dirty     map[string]bool
+	epochs    map[string]int64 // placement epoch per table, bumped by place()
+	fileSeq   int32
+	queries   int64
+	nextSess  int64
+	nextQuery int64
 }
 
 // Open builds the simulated machine and an empty database on it.
@@ -149,10 +160,13 @@ func Open(cfg Config) (*DB, error) {
 		Srv: srv, Vol: vol, Pool: pool,
 		Catalog:   opt.NewCatalog(),
 		Objective: cfg.Objective,
+		Adm:       sched.NewAdmission(srv.Eng, srv.CPU.Cores(), 0),
+		Attr:      energy.NewAttributor(srv.Meter),
 		cfg:       cfg,
 		schemas:   map[string]*table.Schema{},
 		mem:       map[string]*table.Table{},
 		dirty:     map[string]bool{},
+		epochs:    map[string]int64{},
 	}
 	if cfg.WALBatch > 0 {
 		if cfg.WALTimeout == 0 && cfg.WALBatch > 1 {
@@ -231,19 +245,25 @@ func (db *DB) Insert(name string, rows [][]table.Value) error {
 		return fmt.Errorf("core: unknown table %q", name)
 	}
 	s := db.schemas[name]
-	for _, r := range rows {
+	// Validate and coerce the whole batch before appending any row: a
+	// type error on row k must not leave rows 0..k-1 visible.
+	coerced := make([][]table.Value, len(rows))
+	for ri, r := range rows {
 		if len(r) != len(s.Cols) {
 			return fmt.Errorf("core: insert of %d values into %d columns", len(r), len(s.Cols))
 		}
-		coerced := make([]table.Value, len(r))
+		cr := make([]table.Value, len(r))
 		for i, v := range r {
 			if v.Type.Physical() != s.Cols[i].Type.Physical() {
 				return fmt.Errorf("core: column %q wants %v, got %v", s.Cols[i].Name, s.Cols[i].Type, v.Type)
 			}
 			v.Type = s.Cols[i].Type
-			coerced[i] = v
+			cr[i] = v
 		}
-		t.AppendRow(coerced...)
+		coerced[ri] = cr
+	}
+	for _, r := range coerced {
+		t.AppendRow(r...)
 	}
 	db.dirty[name] = true
 	if db.Log != nil {
@@ -313,6 +333,7 @@ func (db *DB) place(name string) error {
 	}
 	db.Catalog.Add(name, &opt.Placement{Variants: variants, Stats: opt.Analyze(t)})
 	db.dirty[name] = false
+	db.epochs[name]++ // invalidates plans cached against the old placement
 	return nil
 }
 
@@ -320,9 +341,22 @@ func (db *DB) place(name string) error {
 type Result struct {
 	Rows    *table.Table
 	Plan    *opt.Plan
-	Elapsed energy.Seconds
-	Joules  energy.Joules // whole-server energy during the query
-	Report  string        // per-component breakdown
+	Elapsed energy.Seconds // submission to completion (includes Wait)
+	Joules  energy.Joules  // whole-server energy during the query's window
+	Report  string         // per-component breakdown (empty for discarded queries)
+
+	// Attributed is this query's share of the server's energy: the
+	// marginal joules its own processes were charged plus an idle-floor
+	// share proportional to its wall-clock overlap. Across concurrent
+	// sessions the attributed joules sum to the whole-server meter —
+	// which the whole-window Joules above cannot do once queries overlap.
+	Attributed energy.Joules
+	Marginal   energy.Joules // energy charged directly by this query's processes
+	Shared     energy.Joules // idle-floor (residual) share
+
+	Wait     energy.Seconds // admission queueing delay
+	Granted  int            // cores granted at admission (caps pipeline DOP)
+	RowCount int64          // rows produced (survives Rows.Discard)
 }
 
 // Efficiency reports rows per joule — the paper's work/energy metric.
@@ -334,7 +368,12 @@ func (r *Result) Efficiency() energy.Efficiency {
 }
 
 // Exec parses, plans and executes one SQL statement on the simulated
-// machine, advancing its clock and meter.
+// machine, advancing its clock and meter. It is the single-query
+// convenience path: a SELECT runs as a one-statement session — submitted
+// to the admission controller (which, on an otherwise idle box, grants it
+// every core), executed, and collected — so it carries the same
+// attributed energy account as session queries. Multi-stream drivers use
+// DB.Session directly.
 func (db *DB) Exec(query string) (*Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {
@@ -346,7 +385,7 @@ func (db *DB) Exec(query string) (*Result, error) {
 	case st.Insert != nil:
 		return &Result{}, db.Insert(st.Insert.Table, st.Insert.Rows)
 	default:
-		return db.execSelect(st)
+		return db.execSelect(st, query)
 	}
 }
 
@@ -386,45 +425,30 @@ func (db *DB) bind(sel *sql.SelectStmt) (*opt.Query, error) {
 	return q, nil
 }
 
-func (db *DB) execSelect(st *sql.Stmt) (*Result, error) {
+func (db *DB) execSelect(st *sql.Stmt, query string) (*Result, error) {
 	q, err := db.bind(st.Select)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := opt.Optimize(q, db.Catalog, db.Env, db.Objective)
-	if err != nil {
-		return nil, err
-	}
 	if st.Explain {
+		plan, err := opt.Optimize(q, db.Catalog, db.Env, db.Objective)
+		if err != nil {
+			return nil, err
+		}
 		return &Result{Plan: plan}, nil
 	}
-
-	meter := db.Srv.Meter
-	startT := energy.Seconds(db.Srv.Eng.Now())
-	startE := meter.TotalEnergy(startT)
-
-	var rows *table.Table
-	err = db.run("query", func(p *sim.Proc) error {
-		ctx := db.NewCtx(p)
-		op, err := plan.Build(ctx)
-		if err != nil {
-			return err
-		}
-		rows, err = exec.Collect(ctx, op)
-		return err
-	})
+	sess := db.Session()
+	defer sess.Close()
+	rows, err := newStmt(sess, query, q).Query()
 	if err != nil {
 		return nil, err
 	}
-	endT := energy.Seconds(db.Srv.Eng.Now())
-	db.queries++
-	return &Result{
-		Rows:    rows,
-		Plan:    plan,
-		Elapsed: endT - startT,
-		Joules:  meter.TotalEnergy(endT) - startE,
-		Report:  meter.Report(endT),
-	}, nil
+	// Run the engine to completion (matching the pre-session Exec, which
+	// drained after every statement), then collect.
+	if err := db.Drain(); err != nil {
+		return nil, err
+	}
+	return rows.Collect()
 }
 
 // NewCtx builds an execution context wired to this DB's hardware; the
@@ -453,31 +477,7 @@ func (db *DB) run(name string, fn func(p *sim.Proc) error) error {
 	return err
 }
 
-// Go starts a process on the database's engine (for multi-stream
-// drivers); callers must drain with Run.
-func (db *DB) Go(name string, fn func(p *sim.Proc)) { db.Srv.Eng.Go(name, fn) }
-
-// Run drains the engine until all processes finish.
-func (db *DB) Run() error { return db.Srv.Eng.Run() }
-
-// CompileSelect binds and optimizes a SELECT for repeated execution by
-// multi-stream drivers.
-func (db *DB) CompileSelect(query string) (*opt.Plan, error) {
-	st, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	if st.Select == nil {
-		return nil, fmt.Errorf("core: not a SELECT: %s", strings.SplitN(query, "\n", 2)[0])
-	}
-	q, err := db.bind(st.Select)
-	if err != nil {
-		return nil, err
-	}
-	return opt.Optimize(q, db.Catalog, db.Env, db.Objective)
-}
-
-// Queries reports how many SELECTs have completed via Exec.
+// Queries reports how many SELECTs have completed (via Exec or sessions).
 func (db *DB) Queries() int64 { return db.queries }
 
 // Schema returns a registered table's schema.
@@ -486,11 +486,13 @@ func (db *DB) Schema(name string) (*table.Schema, bool) {
 	return s, ok
 }
 
-// Tables lists registered table names (unordered).
+// Tables lists registered table names, sorted, so EXPLAIN output,
+// examples and golden tests are deterministic.
 func (db *DB) Tables() []string {
 	out := make([]string, 0, len(db.schemas))
 	for n := range db.schemas {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }

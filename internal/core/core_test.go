@@ -245,6 +245,56 @@ func TestResultEfficiency(t *testing.T) {
 	}
 }
 
+// TestInsertAtomicOnTypeError: a type error anywhere in the batch must
+// leave the table untouched — the old row-at-a-time path appended rows
+// 0..k-1 before failing on row k.
+func TestInsertAtomicOnTypeError(t *testing.T) {
+	db := smallDB(t, opt.MinTime)
+	mustExec(t, db, "CREATE TABLE t (a BIGINT, b DOUBLE)")
+	mustExec(t, db, "INSERT INTO t VALUES (1, 1.5)")
+	bad := [][]table.Value{
+		{table.IntVal(2), table.FloatVal(2.5)},
+		{table.IntVal(3), table.StrVal("oops")}, // type error on row 1
+		{table.IntVal(4), table.FloatVal(4.5)},
+	}
+	if err := db.Insert("t", bad); err == nil {
+		t.Fatal("mistyped batch should fail")
+	}
+	res := mustExec(t, db, "SELECT a FROM t")
+	if res.Rows.Rows() != 1 {
+		t.Fatalf("failed insert left %d rows visible, want 1", res.Rows.Rows())
+	}
+	// Arity errors must be atomic too.
+	if err := db.Insert("t", [][]table.Value{
+		{table.IntVal(5), table.FloatVal(5.5)},
+		{table.IntVal(6)},
+	}); err == nil {
+		t.Fatal("wrong-arity batch should fail")
+	}
+	if res := mustExec(t, db, "SELECT a FROM t"); res.Rows.Rows() != 1 {
+		t.Fatalf("failed insert left %d rows visible, want 1", res.Rows.Rows())
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	db := smallDB(t, opt.MinTime)
+	for _, name := range []string{"zebra", "ant", "mole", "bee"} {
+		mustExec(t, db, "CREATE TABLE "+name+" (a BIGINT)")
+	}
+	want := []string{"ant", "bee", "mole", "zebra"}
+	for try := 0; try < 3; try++ {
+		got := db.Tables()
+		if len(got) != len(want) {
+			t.Fatalf("tables = %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tables = %v, want sorted %v", got, want)
+			}
+		}
+	}
+}
+
 func TestErrorPaths(t *testing.T) {
 	db := smallDB(t, opt.MinTime)
 	if _, err := db.Exec("SELECT x FROM ghost"); err == nil {

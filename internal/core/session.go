@@ -1,0 +1,433 @@
+package core
+
+import (
+	"fmt"
+
+	"energydb/internal/energy"
+	"energydb/internal/opt"
+	"energydb/internal/sched"
+	"energydb/internal/sim"
+	"energydb/internal/sql"
+	"energydb/internal/table"
+)
+
+// This file is the session-based query API: the workload-level face of
+// the engine the paper's §4.2 asks for. A Session is one client's serial
+// statement stream; Prepare binds a statement once; Query submits it to
+// the engine-resident admission controller, which grants the query its
+// degree of parallelism from the cores that are actually free at
+// admission time and queues arrivals when the box is saturated. Results
+// stream back through Rows, and every completed query carries an
+// attributed energy account — its own marginal joules plus its
+// wall-clock-overlap share of the idle floor — that sums to the
+// whole-server meter across concurrent sessions by construction.
+//
+// The simulation is advanced lazily: submitting a statement schedules
+// work but runs nothing. Rows methods (Next, Collect, RowCount, Close)
+// pump the engine just far enough to produce what they return, and
+// DB.Drain runs every outstanding statement to completion. Execution is
+// not consumer-paced — a running query proceeds at full simulated speed
+// whether or not anyone is iterating its Rows — because the consumer
+// lives outside simulated time and stalling the query on it would charge
+// client think-time to the query's energy account.
+
+// Session is one client's serial statement stream: statements submitted
+// on a session execute in submission order, each admitted only after the
+// previous one finished — exactly the behaviour of one TPC-H throughput
+// stream. Concurrency comes from opening several sessions; the admission
+// controller arbitrates cores across them.
+type Session struct {
+	db     *DB
+	id     int64
+	tail   *Rows // most recently submitted statement, for chaining
+	closed bool
+}
+
+// Session opens a new session on the database.
+func (db *DB) Session() *Session {
+	db.nextSess++
+	return &Session{db: db, id: db.nextSess}
+}
+
+// Close marks the session closed; further Prepare/Query calls fail.
+// Statements already submitted are unaffected.
+func (s *Session) Close() error {
+	s.closed = true
+	return nil
+}
+
+// Prepare parses and binds a SELECT for repeated execution. Binding
+// places any referenced tables whose contents changed. The physical plan
+// is chosen later, per execution, against the cores granted at admission.
+func (s *Session) Prepare(query string) (*Stmt, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: session %d is closed", s.id)
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Select == nil {
+		return nil, fmt.Errorf("core: only SELECT can be prepared")
+	}
+	q, err := s.db.bind(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	return newStmt(s, query, q), nil
+}
+
+// newStmt wraps a bound query; Prepare and the Exec wrapper share it.
+func newStmt(s *Session, text string, q *opt.Query) *Stmt {
+	return &Stmt{sess: s, text: text, query: q,
+		plans: map[int]*opt.Plan{}, epochs: map[string]int64{}}
+}
+
+// Query prepares and submits a statement in one call.
+func (s *Session) Query(query string) (*Rows, error) {
+	st, err := s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return st.Query()
+}
+
+// QueryAt prepares a statement and submits it at simulated time at (>= the
+// current clock), for drivers that model an arrival process.
+func (s *Session) QueryAt(at float64, query string) (*Rows, error) {
+	st, err := s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return st.QueryAt(at)
+}
+
+// Stmt is a prepared SELECT bound to its session. Physical plans are
+// compiled on demand per admission grant (the optimizer prices degrees of
+// parallelism against the granted cores — see opt.Env.Grant) and cached,
+// so a statement re-executed under the same grant plans once.
+type Stmt struct {
+	sess   *Session
+	text   string
+	query  *opt.Query
+	plans  map[int]*opt.Plan // by granted cores
+	epochs map[string]int64  // placement epochs the cached plans were built on
+}
+
+// Text returns the statement's SQL.
+func (st *Stmt) Text() string { return st.text }
+
+// Query submits the statement for execution after the session's previous
+// statement finishes, returning a Rows handle immediately. Nothing runs
+// until the simulation is pumped (Rows methods or DB.Drain).
+func (st *Stmt) Query() (*Rows, error) { return st.QueryAt(0) }
+
+// QueryAt submits the statement at simulated time at (or when the
+// session's previous statement finishes, whichever is later).
+func (st *Stmt) QueryAt(at float64) (*Rows, error) {
+	s := st.sess
+	if s.closed {
+		return nil, fmt.Errorf("core: session %d is closed", s.id)
+	}
+	db := s.db
+	db.nextQuery++
+	r := &Rows{db: db, stmt: st, id: db.nextQuery, at: at}
+	prev := s.tail
+	s.tail = r
+	if prev == nil || prev.done {
+		db.submitRows(r)
+	} else {
+		prev.onDone = append(prev.onDone, func() { db.submitRows(r) })
+	}
+	return r, nil
+}
+
+// planFor compiles (or recalls) the statement's plan for a grant, after
+// re-placing any referenced table whose contents changed since the last
+// execution. Cache invalidation is by placement epoch, not the dirty
+// flag: the first statement to re-place a table consumes the flag, but
+// every other prepared statement on that table must also drop plans
+// built against the old placement.
+func (st *Stmt) planFor(granted int) (*opt.Plan, error) {
+	db := st.sess.db
+	stale := false
+	for _, a := range st.query.Tables {
+		rel := st.query.Rels[a]
+		if db.dirty[rel] {
+			if err := db.place(rel); err != nil {
+				return nil, err
+			}
+		}
+		if e := db.epochs[rel]; st.epochs[rel] != e {
+			st.epochs[rel] = e
+			stale = true
+		}
+	}
+	if stale {
+		st.plans = map[int]*opt.Plan{}
+	}
+	if p, ok := st.plans[granted]; ok {
+		return p, nil
+	}
+	p, err := opt.Optimize(st.query, db.Catalog, db.Env.Grant(granted), db.Objective)
+	if err != nil {
+		return nil, err
+	}
+	st.plans[granted] = p
+	return p, nil
+}
+
+// Rows is a submitted statement's result stream and, once the statement
+// completes, its energy-accounted Result. Batches become available as the
+// simulation executes the query; Next pumps the engine just far enough to
+// return the next one.
+type Rows struct {
+	db   *DB
+	stmt *Stmt
+	id   int64
+	at   float64 // requested submission time
+
+	submitT float64 // actual submission time
+	startT  float64 // admission time
+	startE  energy.Joules
+	granted int
+	ticket  *sched.Ticket
+
+	cancel  bool // producer stops at its next batch boundary
+	done    bool
+	closed  bool
+	discard bool
+
+	err      error
+	plan     *opt.Plan
+	schema   *table.Schema
+	acct     *energy.Account
+	batches  []*table.Batch
+	pos      int
+	cur      *table.Batch
+	rowCount int64
+	res      *Result
+	onDone   []func()
+}
+
+// Discard drops result batches as they are produced, keeping only the
+// row count — for throughput drivers that would otherwise buffer every
+// stream's output. It must be called before the simulation is pumped.
+func (r *Rows) Discard() { r.discard = true }
+
+// Next advances to the next result batch, pumping the simulation as
+// needed; it returns false at end of stream, on error, or after Close.
+func (r *Rows) Next() bool {
+	if r.closed {
+		return false
+	}
+	r.db.pumpUntil(func() bool { return r.pos < len(r.batches) || r.done })
+	if r.pos < len(r.batches) {
+		r.cur = r.batches[r.pos]
+		r.pos++
+		return true
+	}
+	r.cur = nil
+	return false
+}
+
+// Batch returns the batch produced by the last successful Next. It is
+// owned by the Rows and valid until Close.
+func (r *Rows) Batch() *table.Batch { return r.cur }
+
+// Err reports the statement's execution error, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Close cancels the statement if it is still pending or running — the
+// query process (and the exchange workers under it) stops at its next
+// batch boundary and its cancelled scan readers unwind at theirs, so
+// once the engine drains no process of the query is left alive — and
+// releases buffered batches. Closing a finished Rows just releases its
+// buffers.
+func (r *Rows) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	r.cancel = true
+	r.db.pumpUntil(func() bool { return r.done })
+	r.batches = nil
+	r.cur = nil
+	return r.err
+}
+
+// Collect runs the statement to completion and materialises all result
+// rows into Result.Rows — the convenience path DB.Exec uses. It fails on
+// a closed Rows (Close released the buffered batches) and on a discarded
+// one (use Result or RowCount there).
+func (r *Rows) Collect() (*Result, error) {
+	if r.closed {
+		return nil, fmt.Errorf("core: Collect on closed Rows (batches released)")
+	}
+	if r.discard {
+		return nil, fmt.Errorf("core: Collect on discarded Rows (use Result or RowCount)")
+	}
+	res, err := r.Result()
+	if err != nil {
+		return nil, err
+	}
+	if res.Rows == nil && r.schema != nil {
+		t := table.NewTable(r.schema)
+		for _, b := range r.batches {
+			t.AppendBatch(b)
+		}
+		res.Rows = t
+	}
+	return res, nil
+}
+
+// Result runs the statement to completion and returns its Result without
+// materialising rows into a table (Result.Rows stays nil unless Collect
+// built it).
+func (r *Rows) Result() (*Result, error) {
+	r.db.pumpUntil(func() bool { return r.done })
+	if !r.done {
+		return nil, fmt.Errorf("core: query %d never completed (simulation ran dry)", r.id)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r.res, nil
+}
+
+// RowCount runs the statement to completion and reports how many rows it
+// produced (it survives Discard).
+func (r *Rows) RowCount() (int64, error) {
+	if _, err := r.Result(); err != nil {
+		return 0, err
+	}
+	return r.rowCount, nil
+}
+
+// Granted reports the cores granted at admission (0 until admitted).
+func (r *Rows) Granted() int { return r.granted }
+
+// Drain runs the simulation until no scheduled work remains: every
+// submitted statement on every session has finished. Multi-stream
+// drivers submit their whole workload and then Drain once.
+func (db *DB) Drain() error { return db.Srv.Eng.Run() }
+
+// pumpUntil advances the simulation one event at a time until ready()
+// holds or no events remain.
+func (db *DB) pumpUntil(ready func() bool) {
+	eng := db.Srv.Eng
+	for !ready() && eng.Step() {
+	}
+}
+
+// submitRows hands a statement to the admission controller, at its
+// requested time if that is still in the future.
+func (db *DB) submitRows(r *Rows) {
+	eng := db.Srv.Eng
+	if r.at > eng.Now() {
+		eng.At(r.at, fmt.Sprintf("submit%d", r.id), func() { db.doSubmit(r) })
+		return
+	}
+	db.doSubmit(r)
+}
+
+func (db *DB) doSubmit(r *Rows) {
+	r.submitT = db.Srv.Eng.Now()
+	r.startE = db.Srv.Meter.TotalEnergy(energy.Seconds(r.submitT))
+	r.ticket = db.Adm.Submit(fmt.Sprintf("query%d", r.id), db.Env.Cores, func(p *sim.Proc, granted int) {
+		db.runQuery(p, r, granted)
+	})
+}
+
+// runQuery is the admitted query's process: plan for the grant, open an
+// attribution account, execute, and settle the result.
+func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
+	r.granted = granted
+	r.startT = p.Now()
+	if !r.cancel {
+		plan, err := r.stmt.planFor(granted)
+		if err != nil {
+			r.err = err
+		} else {
+			r.plan = plan
+			// The plan is chosen: give cores it cannot occupy back to the
+			// free pool, so a serial plan on a wide grant does not
+			// serialize later arrivals behind idle cores. Result.Granted
+			// keeps the admission grant the plan was priced against.
+			db.Adm.Shrink(r.ticket, plan.MaxDOP())
+			acct := db.Attr.Begin(energy.Seconds(p.Now()))
+			r.acct = acct
+			p.SetOwner(acct)
+			r.err = db.executeRows(p, r, plan)
+			p.SetOwner(nil)
+			db.Attr.End(acct, energy.Seconds(p.Now()))
+		}
+	}
+	r.finish(p.Now())
+}
+
+// executeRows drives the operator tree, buffering (or discarding) each
+// produced batch; r.cancel stops it at the next batch boundary.
+func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
+	ctx := db.NewCtx(p)
+	op, err := plan.Build(ctx)
+	if err != nil {
+		return err
+	}
+	r.schema = op.Schema()
+	if err := op.Open(ctx); err != nil {
+		return err
+	}
+	for !r.cancel {
+		b, err := op.Next(ctx)
+		if err != nil {
+			_ = op.Close(ctx)
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Rows() == 0 {
+			continue
+		}
+		r.rowCount += int64(b.Rows())
+		if !r.discard {
+			r.batches = append(r.batches, b.Clone()) // producers reuse buffers
+		}
+	}
+	return op.Close(ctx)
+}
+
+// finish settles the query's Result and releases chained statements.
+func (r *Rows) finish(now float64) {
+	meter := r.db.Srv.Meter
+	endT := energy.Seconds(now)
+	res := &Result{
+		Plan:     r.plan,
+		Elapsed:  endT - energy.Seconds(r.submitT),
+		Joules:   meter.TotalEnergy(endT) - r.startE,
+		Wait:     energy.Seconds(r.startT - r.submitT),
+		Granted:  r.granted,
+		RowCount: r.rowCount,
+	}
+	if !r.discard {
+		// The per-component breakdown is a formatted string over every
+		// device trace; throughput drivers that discard their rows do not
+		// read it, so do not pay for it per query.
+		res.Report = meter.Report(endT)
+	}
+	if r.acct != nil {
+		res.Attributed = r.acct.Attributed()
+		res.Marginal = r.acct.Direct()
+		res.Shared = r.acct.Shared()
+	}
+	r.res = res
+	if r.err == nil && r.plan != nil {
+		r.db.queries++
+	}
+	r.done = true
+	for _, f := range r.onDone {
+		f()
+	}
+	r.onDone = nil
+}

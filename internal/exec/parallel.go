@@ -154,6 +154,9 @@ func (s *Parallel) start(ctx *Ctx) {
 			// Each worker executes its fragment against a private context
 			// whose process is the worker itself: CPU charges land on a
 			// core of the shared CPU concurrently with the other workers.
+			// (The worker inherits the consumer's attribution owner at
+			// spawn — sim.Engine.Go — so the whole tree charges one
+			// account.)
 			wctx := *ctx
 			wctx.P = wp
 			err := frag.Open(&wctx)

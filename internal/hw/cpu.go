@@ -123,7 +123,22 @@ func (c *CPU) Use(p *sim.Proc, cycles float64) {
 		return
 	}
 	c.totalWork += cycles
-	c.res.Use(p, 1, cycles/c.FreqHz())
+	d := cycles / c.FreqHz()
+	marginal := float64(c.spec.ActivePerCore) * c.spec.PStates[c.pstate].PowerScale * d
+	c.res.Use(p, 1, d)
+	chargeOwner(p, marginal)
+}
+
+// chargeOwner credits directly attributed marginal joules — what the
+// device drew above idle to serve this operation — to the account riding
+// on the process, if any (per-query energy attribution).
+func chargeOwner(p *sim.Proc, j float64) {
+	if j <= 0 {
+		return
+	}
+	if c, ok := p.Owner().(energy.Charger); ok {
+		c.ChargeJoules(energy.Joules(j))
+	}
 }
 
 // UseBytes charges byte-proportional work at the spec's CyclesPerByte rate.

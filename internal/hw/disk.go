@@ -137,6 +137,7 @@ func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) {
 		p.Sleep(d.spec.SpinUpTime)
 		d.stats.SpinUps++
 		d.nextOffset = -1 // position unknown after spin-up
+		chargeOwner(p, float64(d.spec.SpinUpWatts-d.spec.IdleWatts)*d.spec.SpinUpTime)
 	}
 	d.setState(SpinActive, d.spec.ActiveWatts)
 
@@ -151,6 +152,7 @@ func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) {
 	}
 	service += float64(size) / bw
 	p.Sleep(service)
+	chargeOwner(p, float64(d.spec.ActiveWatts-d.spec.IdleWatts)*service)
 
 	d.nextOffset = offset + size
 	if write {
@@ -190,6 +192,7 @@ func (d *Disk) Sync(p *sim.Proc) {
 	d.idleGen++
 	d.setState(SpinActive, d.spec.ActiveWatts)
 	p.Sleep(d.spec.RotLatency)
+	chargeOwner(p, float64(d.spec.ActiveWatts-d.spec.IdleWatts)*d.spec.RotLatency)
 	d.setState(SpinIdle, d.spec.IdleWatts)
 	d.armSpinDown()
 	d.res.Release(1)
@@ -273,7 +276,9 @@ func (s *SSD) Read(p *sim.Proc, offset, size int64) {
 		panic(fmt.Sprintf("hw: ssd %s read of %d bytes", s.spec.Name, size))
 	}
 	s.res.Acquire(p, 1)
-	p.Sleep(s.spec.ReadLatency + float64(size)/s.spec.ReadBW)
+	service := s.spec.ReadLatency + float64(size)/s.spec.ReadBW
+	p.Sleep(service)
+	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*service)
 	s.stats.Reads++
 	s.stats.BytesRead += size
 	s.res.Release(1)
@@ -285,7 +290,9 @@ func (s *SSD) Write(p *sim.Proc, offset, size int64) {
 		panic(fmt.Sprintf("hw: ssd %s write of %d bytes", s.spec.Name, size))
 	}
 	s.res.Acquire(p, 1)
-	p.Sleep(s.spec.ReadLatency + float64(size)/s.spec.WriteBW)
+	service := s.spec.ReadLatency + float64(size)/s.spec.WriteBW
+	p.Sleep(service)
+	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*service)
 	s.stats.Writes++
 	s.stats.BytesWrite += size
 	s.res.Release(1)
@@ -300,5 +307,6 @@ func (s *SSD) ReadServiceTime(size int64) float64 {
 func (s *SSD) Sync(p *sim.Proc) {
 	s.res.Acquire(p, 1)
 	p.Sleep(s.spec.ReadLatency)
+	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*s.spec.ReadLatency)
 	s.res.Release(1)
 }

@@ -65,6 +65,24 @@ type Env struct {
 	Costs exec.CostParams
 }
 
+// Grant derives the per-query planning environment from an admission
+// grant: every degree-of-parallelism sweep (scan morsels, partitioned
+// aggregation, partitioned join builds) is priced against the cores the
+// admission controller actually granted from the free pool, rather than
+// the machine's configured total. Cores acts as the configured ceiling;
+// MaxPipelineDOP, if set, still applies on top. A grant of one core
+// reproduces the serial plans exactly.
+func (e *Env) Grant(cores int) *Env {
+	g := *e
+	if cores < 1 {
+		cores = 1
+	}
+	if cores < g.Cores {
+		g.Cores = cores
+	}
+	return &g
+}
+
 // Validate reports a descriptive error for unusable parameters.
 func (e *Env) Validate() error {
 	if e.CPUFreqHz <= 0 || e.Cores <= 0 {

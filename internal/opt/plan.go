@@ -60,6 +60,11 @@ type PhysNode interface {
 	Card() float64
 	RowBytes() float64
 	Cost() Cost
+	// MaxDOP reports the widest degree of parallelism this subtree will
+	// use — the cores it can actually occupy at once. Admission returns
+	// the unused remainder of a query's grant once the plan is chosen, so
+	// an under-report here would oversubscribe the free pool.
+	MaxDOP() int
 	Build(ctx *exec.Ctx) (exec.Operator, error)
 	explain(b *strings.Builder, indent string)
 }
@@ -117,6 +122,9 @@ func (s *PScan) RowBytes() float64 {
 
 // Cost implements PhysNode.
 func (s *PScan) Cost() Cost { return s.cost }
+
+// MaxDOP implements PhysNode.
+func (s *PScan) MaxDOP() int { return max(1, s.DOP) }
 
 // Build implements PhysNode. DOP > 1 builds DOP scan fragments sharing one
 // morsel dispenser under a Parallel merge; each fragment gets its own
@@ -284,6 +292,11 @@ func (j *PJoin) RowBytes() float64 { return j.Left.RowBytes() + j.Right.RowBytes
 // Cost implements PhysNode.
 func (j *PJoin) Cost() Cost { return j.cost }
 
+// MaxDOP implements PhysNode.
+func (j *PJoin) MaxDOP() int {
+	return max(j.BuildDOP, j.Left.MaxDOP(), j.Right.MaxDOP())
+}
+
 // Build implements PhysNode. A hash join with BuildDOP > 1 over a
 // fragmentable build side compiles the build pipeline into fragments under
 // the partitioned build — the fragments hash-partition rows by key and the
@@ -350,6 +363,9 @@ func (f *PFilter) RowBytes() float64 { return f.In.RowBytes() }
 // Cost implements PhysNode.
 func (f *PFilter) Cost() Cost { return f.cost }
 
+// MaxDOP implements PhysNode.
+func (f *PFilter) MaxDOP() int { return f.In.MaxDOP() }
+
 // Build implements PhysNode.
 func (f *PFilter) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	in, err := f.In.Build(ctx)
@@ -410,6 +426,9 @@ func (p *PProject) RowBytes() float64 { return float64(8 * len(p.Exprs)) }
 
 // Cost implements PhysNode.
 func (p *PProject) Cost() Cost { return p.cost }
+
+// MaxDOP implements PhysNode.
+func (p *PProject) MaxDOP() int { return p.In.MaxDOP() }
 
 // Build implements PhysNode.
 func (p *PProject) Build(ctx *exec.Ctx) (exec.Operator, error) {
@@ -511,6 +530,9 @@ func (a *PAgg) RowBytes() float64 { return float64(8 * (len(a.Group) + len(a.Agg
 // Cost implements PhysNode.
 func (a *PAgg) Cost() Cost { return a.cost }
 
+// MaxDOP implements PhysNode.
+func (a *PAgg) MaxDOP() int { return max(a.DOP, a.In.MaxDOP()) }
+
 // Build implements PhysNode. DOP > 1 over a fragmentable input compiles
 // the whole input pipeline into fragments under the partitioned parallel
 // aggregation (thread-local partial tables, partition-wise merge).
@@ -562,6 +584,9 @@ func (s *PSort) RowBytes() float64 { return s.In.RowBytes() }
 // Cost implements PhysNode.
 func (s *PSort) Cost() Cost { return s.cost }
 
+// MaxDOP implements PhysNode.
+func (s *PSort) MaxDOP() int { return s.In.MaxDOP() }
+
 // Build implements PhysNode.
 func (s *PSort) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	in, err := s.In.Build(ctx)
@@ -594,6 +619,9 @@ func (l *PLimit) RowBytes() float64 { return l.In.RowBytes() }
 // Cost implements PhysNode.
 func (l *PLimit) Cost() Cost { return l.In.Cost() }
 
+// MaxDOP implements PhysNode.
+func (l *PLimit) MaxDOP() int { return l.In.MaxDOP() }
+
 // Build implements PhysNode.
 func (l *PLimit) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	in, err := l.In.Build(ctx)
@@ -619,6 +647,12 @@ func (p *Plan) Cost() Cost { return p.Root.Cost() }
 
 // Build constructs the executable operator tree.
 func (p *Plan) Build(ctx *exec.Ctx) (exec.Operator, error) { return p.Root.Build(ctx) }
+
+// MaxDOP reports the widest degree of parallelism any operator of the
+// plan will use — the cores the plan can actually occupy at once. The
+// admission controller returns the unused remainder of a query's grant to
+// the free pool once the plan is chosen.
+func (p *Plan) MaxDOP() int { return p.Root.MaxDOP() }
 
 // Explain renders the plan as an indented tree with per-node costs.
 func (p *Plan) Explain() string {

@@ -1,12 +1,22 @@
-// Package sched is the workload manager: admission control that batches
-// query arrivals in time.
+// Package sched is the workload manager: concurrency-aware admission
+// control with optional time-batching.
 //
-// §4.2 of the paper: "we expect to see workload management policies that
-// encourage identifiable periods of low and high activity — perhaps
-// batching requests at the cost of increased latency." The Batcher holds
-// arriving jobs for a configurable window and releases them together, so
-// the gaps between windows become long enough for disks to spin down
-// (whereas a steady trickle keeps every device at idle power forever).
+// §4.2 of the paper argues the big energy levers are workload-level —
+// deciding *when* work runs and *how much hardware* it may occupy, across
+// concurrent queries. The Admission controller owns both decisions:
+//
+//   - Concurrency. It tracks the server's simulated cores. A job asks for
+//     up to `want` cores and is granted its share of the currently free
+//     ones at admission time — a lone query gets the whole box and plans
+//     wide, while under a saturating multi-stream load every query is
+//     granted one core and plans serial, so inter- and intra-query
+//     parallelism coexist without oversubscribing the cost model's
+//     assumptions. When no core is free, arrivals queue FIFO.
+//
+//   - Batching (grown out of the earlier Batcher). A nonzero Window holds
+//     arrivals for that many seconds from the first held job and releases
+//     them together, consolidating activity so the gaps between bursts
+//     grow long enough for disks to spin down — at the cost of latency.
 package sched
 
 import (
@@ -15,25 +25,35 @@ import (
 	"energydb/internal/sim"
 )
 
-// Job is one admitted unit of work.
-type Job struct {
-	ID  int64
-	Run func(p *sim.Proc)
+// Ticket is one submitted job's admission record.
+type Ticket struct {
+	ID      int64
+	Name    string
+	Want    int // cores requested (clamped to [1, TotalCores])
+	Granted int // cores granted at admission; 0 while held or queued
 
+	run       func(p *sim.Proc, granted int)
 	submitted float64
-	started   float64
+	admitted  float64
 	finished  float64
 }
 
-// Stats summarises completed work.
+// Wait reports the delay between submission and admission.
+func (t *Ticket) Wait() float64 { return t.admitted - t.submitted }
+
+// Stats summarises the controller's history.
 type Stats struct {
+	Submitted    int64
 	Completed    int64
-	Batches      int64
-	TotalWait    float64 // time between submission and start
+	Batches      int64   // window releases (window > 0 only)
+	Waited       int64   // jobs admitted strictly later than submitted
+	TotalWait    float64 // time between submission and admission
 	TotalLatency float64 // time between submission and completion
+	PeakActive   int     // most jobs running at once
+	PeakQueue    int     // deepest admission queue
 }
 
-// MeanWait reports the average queueing delay added by batching.
+// MeanWait reports the average queueing delay added by admission.
 func (s Stats) MeanWait() float64 {
 	if s.Completed == 0 {
 		return 0
@@ -49,85 +69,173 @@ func (s Stats) MeanLatency() float64 {
 	return s.TotalLatency / float64(s.Completed)
 }
 
-// Batcher accumulates jobs for Window seconds (measured from the first
-// job of a batch) and then runs the whole batch on up to Workers
-// concurrent processes. Window 0 degenerates to immediate admission.
-type Batcher struct {
-	eng     *sim.Engine
-	Window  float64
-	Workers int
+// Admission is the engine-resident admission controller. It is not safe
+// for use outside the owning engine's single-threaded discipline; Submit
+// may be called from event context, from a process, or from ordinary code
+// before the engine is pumped.
+type Admission struct {
+	eng *sim.Engine
 
-	nextID  int64
-	holding []*Job
-	stats   Stats
-	active  int // batches currently running
+	// TotalCores is the capacity grants are drawn from (the server's
+	// simulated cores).
+	TotalCores int
+	// Window, when positive, holds arrivals for that many seconds from
+	// the first held job and releases them together (admission batching).
+	Window float64
+
+	nextID   int64
+	free     int
+	active   int
+	holding  []*Ticket // waiting for the window to close
+	queue    []*Ticket // released, waiting for a free core
+	armed    bool      // a dispatch event is pending
+	windowed bool      // a window-release event is pending
+	stats    Stats
 }
 
-// NewBatcher returns a batcher on the engine.
-func NewBatcher(eng *sim.Engine, window float64, workers int) *Batcher {
-	if workers < 1 {
-		panic(fmt.Sprintf("sched: %d workers", workers))
+// NewAdmission returns a controller over cores simulated cores.
+func NewAdmission(eng *sim.Engine, cores int, window float64) *Admission {
+	if cores < 1 {
+		panic(fmt.Sprintf("sched: %d cores", cores))
 	}
-	return &Batcher{eng: eng, Window: window, Workers: workers}
+	return &Admission{eng: eng, TotalCores: cores, Window: window, free: cores}
 }
 
 // Stats returns a copy of the counters.
-func (b *Batcher) Stats() Stats { return b.stats }
+func (a *Admission) Stats() Stats { return a.stats }
 
-// Active reports how many batches are currently executing.
-func (b *Batcher) Active() int { return b.active }
+// Active reports how many admitted jobs are currently running.
+func (a *Admission) Active() int { return a.active }
 
-// Submit admits a job at the current simulated time. It may be called
-// from event context or from a process.
-func (b *Batcher) Submit(run func(p *sim.Proc)) int64 {
-	b.nextID++
-	j := &Job{ID: b.nextID, Run: run, submitted: b.eng.Now()}
-	b.holding = append(b.holding, j)
-	if b.Window <= 0 {
-		b.release()
-		return j.ID
+// FreeCores reports the cores not granted to any running job.
+func (a *Admission) FreeCores() int { return a.free }
+
+// Queued reports jobs released from the window but not yet admitted.
+func (a *Admission) Queued() int { return len(a.queue) }
+
+// Submit offers a job wanting up to want cores. The job starts when the
+// window (if any) closes and a core is free; run receives its own
+// simulated process and the number of cores granted. Submit returns the
+// ticket, whose Granted field is filled at admission.
+func (a *Admission) Submit(name string, want int, run func(p *sim.Proc, granted int)) *Ticket {
+	a.nextID++
+	if want < 1 {
+		want = 1
 	}
-	if len(b.holding) == 1 {
-		b.eng.After(b.Window, "sched-window", func() { b.release() })
+	if want > a.TotalCores {
+		want = a.TotalCores
 	}
-	return j.ID
+	t := &Ticket{ID: a.nextID, Name: name, Want: want, run: run, submitted: a.eng.Now()}
+	a.stats.Submitted++
+	if a.Window > 0 {
+		a.holding = append(a.holding, t)
+		if !a.windowed {
+			a.windowed = true
+			a.eng.After(a.Window, "sched-window", func() { a.release() })
+		}
+		return t
+	}
+	a.queue = append(a.queue, t)
+	if len(a.queue) > a.stats.PeakQueue {
+		a.stats.PeakQueue = len(a.queue)
+	}
+	a.armDispatch()
+	return t
 }
 
-// release moves the held batch to execution.
-func (b *Batcher) release() {
-	batch := b.holding
-	b.holding = nil
-	if len(batch) == 0 {
+// release moves the held window batch to the admission queue.
+func (a *Admission) release() {
+	a.windowed = false
+	if len(a.holding) == 0 {
 		return
 	}
-	b.stats.Batches++
-	b.active++
-	// A shared cursor feeds up to Workers processes.
-	next := 0
-	workers := b.Workers
-	if workers > len(batch) {
-		workers = len(batch)
+	a.stats.Batches++
+	a.queue = append(a.queue, a.holding...)
+	a.holding = nil
+	if len(a.queue) > a.stats.PeakQueue {
+		a.stats.PeakQueue = len(a.queue)
 	}
-	remaining := workers
-	for w := 0; w < workers; w++ {
-		b.eng.Go(fmt.Sprintf("sched-worker%d", w), func(p *sim.Proc) {
-			for {
-				if next >= len(batch) {
-					break
-				}
-				j := batch[next]
-				next++
-				j.started = p.Now()
-				j.Run(p)
-				j.finished = p.Now()
-				b.stats.Completed++
-				b.stats.TotalWait += j.started - j.submitted
-				b.stats.TotalLatency += j.finished - j.submitted
-			}
-			remaining--
-			if remaining == 0 {
-				b.active--
-			}
+	a.dispatch()
+}
+
+// armDispatch schedules one dispatch at the current instant, so all
+// same-instant submissions are granted together under one fair share.
+func (a *Admission) armDispatch() {
+	if a.armed {
+		return
+	}
+	a.armed = true
+	a.eng.After(0, "sched-dispatch", func() {
+		a.armed = false
+		a.dispatch()
+	})
+}
+
+// dispatch admits queued jobs FIFO while cores are free. Each job is
+// granted its fair share of the machine given everyone running or waiting
+// — min(want, totalCores/(active+queued), free), never less than one —
+// so grants come only from free cores, a lone query gets them all, and a
+// saturating stream load degrades to one core per query.
+func (a *Admission) dispatch() {
+	for len(a.queue) > 0 && a.free > 0 {
+		t := a.queue[0]
+		share := a.TotalCores / (a.active + len(a.queue))
+		if share < 1 {
+			share = 1
+		}
+		g := t.Want
+		if share < g {
+			g = share
+		}
+		if a.free < g {
+			g = a.free
+		}
+		a.queue = a.queue[1:]
+		a.free -= g
+		a.active++
+		if a.active > a.stats.PeakActive {
+			a.stats.PeakActive = a.active
+		}
+		t.Granted = g
+		t.admitted = a.eng.Now()
+		if t.admitted > t.submitted {
+			a.stats.Waited++
+		}
+		a.stats.TotalWait += t.admitted - t.submitted
+		a.eng.Go(t.Name, func(p *sim.Proc) {
+			t.run(p, t.Granted)
+			a.complete(t)
 		})
+	}
+}
+
+// Shrink returns part of a running job's grant to the free pool — a
+// query whose chosen plan uses fewer cores than it was granted gives the
+// remainder back as soon as the plan is known, so staggered arrivals are
+// not serialized behind grants nobody uses. The ticket keeps holding `to`
+// cores (floor one) until completion.
+func (a *Admission) Shrink(t *Ticket, to int) {
+	if to < 1 {
+		to = 1
+	}
+	if to >= t.Granted {
+		return
+	}
+	a.free += t.Granted - to
+	t.Granted = to
+	if len(a.queue) > 0 {
+		a.armDispatch()
+	}
+}
+
+// complete returns a finished job's cores and admits waiting work.
+func (a *Admission) complete(t *Ticket) {
+	t.finished = a.eng.Now()
+	a.free += t.Granted
+	a.active--
+	a.stats.Completed++
+	a.stats.TotalLatency += t.finished - t.submitted
+	if len(a.queue) > 0 {
+		a.armDispatch()
 	}
 }

@@ -13,11 +13,11 @@ import (
 
 func TestImmediateAdmission(t *testing.T) {
 	eng := sim.NewEngine()
-	b := NewBatcher(eng, 0, 2)
+	a := NewAdmission(eng, 2, 0)
 	done := 0
 	eng.At(0, "submit", func() {
 		for i := 0; i < 4; i++ {
-			b.Submit(func(p *sim.Proc) {
+			a.Submit("job", 1, func(p *sim.Proc, granted int) {
 				p.Sleep(1)
 				done++
 			})
@@ -26,23 +26,26 @@ func TestImmediateAdmission(t *testing.T) {
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if done != 4 || b.Stats().Completed != 4 {
-		t.Fatalf("done=%d stats=%+v", done, b.Stats())
+	if done != 4 || a.Stats().Completed != 4 {
+		t.Fatalf("done=%d stats=%+v", done, a.Stats())
 	}
-	// Window 0 releases each submission as its own batch.
-	if b.Stats().Batches != 4 {
-		t.Fatalf("batches = %d", b.Stats().Batches)
+	// 4 one-second jobs on 2 cores: two waves.
+	if eng.Now() != 2 {
+		t.Fatalf("makespan = %v, want 2", eng.Now())
+	}
+	if a.Active() != 0 || a.FreeCores() != 2 {
+		t.Fatalf("controller not drained: active=%d free=%d", a.Active(), a.FreeCores())
 	}
 }
 
 func TestWindowCollectsBatch(t *testing.T) {
 	eng := sim.NewEngine()
-	b := NewBatcher(eng, 10, 4)
+	a := NewAdmission(eng, 4, 10)
 	var starts []float64
 	for i := 0; i < 5; i++ {
 		at := float64(i) // arrivals at t=0..4, window closes at t=10
 		eng.At(at, "submit", func() {
-			b.Submit(func(p *sim.Proc) {
+			a.Submit("job", 1, func(p *sim.Proc, granted int) {
 				starts = append(starts, p.Now())
 			})
 		})
@@ -50,34 +53,122 @@ func TestWindowCollectsBatch(t *testing.T) {
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if b.Stats().Batches != 1 {
-		t.Fatalf("batches = %d, want 1", b.Stats().Batches)
+	if a.Stats().Batches != 1 {
+		t.Fatalf("batches = %d, want 1", a.Stats().Batches)
 	}
 	for _, s := range starts {
 		if s < 10 {
 			t.Fatalf("job started at %v, before the window closed", s)
 		}
 	}
-	if w := b.Stats().MeanWait(); w < 6 || w > 10 {
+	if w := a.Stats().MeanWait(); w < 6 || w > 10 {
 		t.Fatalf("mean wait = %v, want ~8", w)
 	}
 }
 
-func TestWorkerParallelism(t *testing.T) {
+func TestSlotParallelism(t *testing.T) {
 	eng := sim.NewEngine()
-	b := NewBatcher(eng, 0.1, 3)
+	a := NewAdmission(eng, 3, 0.1)
 	eng.At(0, "submit", func() {
 		for i := 0; i < 6; i++ {
-			b.Submit(func(p *sim.Proc) { p.Sleep(5) })
+			a.Submit("job", 1, func(p *sim.Proc, granted int) { p.Sleep(5) })
 		}
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	// 6 jobs of 5s on 3 workers = 2 waves of 5s, after the 0.1s window.
+	// 6 jobs of 5s on 3 cores = 2 waves of 5s, after the 0.1s window.
 	want := 0.1 + 10
 	if eng.Now() != want {
 		t.Fatalf("makespan = %v, want %v", eng.Now(), want)
+	}
+	if a.Stats().PeakActive != 3 {
+		t.Fatalf("peak active = %d, want 3", a.Stats().PeakActive)
+	}
+}
+
+// TestFairShareGrants is the concurrency-aware heart of the controller: a
+// lone job is granted the whole box; same-instant arrivals split it; a
+// late arrival is granted only from what is free.
+func TestFairShareGrants(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAdmission(eng, 8, 0)
+	var lone, late *Ticket
+	var crowd []*Ticket
+	eng.At(0, "lone", func() {
+		lone = a.Submit("lone", 8, func(p *sim.Proc, granted int) { p.Sleep(1) })
+	})
+	eng.At(2, "crowd", func() {
+		for i := 0; i < 4; i++ {
+			d := 5 + float64(i) // staggered completions at t=7..10
+			crowd = append(crowd, a.Submit("crowd", 8, func(p *sim.Proc, granted int) { p.Sleep(d) }))
+		}
+	})
+	eng.At(3, "late", func() {
+		late = a.Submit("late", 8, func(p *sim.Proc, granted int) { p.Sleep(1) })
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lone.Granted != 8 {
+		t.Fatalf("lone job granted %d of 8 free cores", lone.Granted)
+	}
+	// Four same-instant arrivals on an idle 8-core box: 2 cores each.
+	for _, c := range crowd {
+		if c.Granted != 2 {
+			t.Fatalf("crowd granted %d, want 2", c.Granted)
+		}
+	}
+	// The late job arrives with 4 jobs holding all 8 cores: it must queue
+	// until the first completion (t=7) and then take only the 2 freed
+	// cores, even though it asked for 8.
+	if w := late.Wait(); w != 4 {
+		t.Fatalf("late job waited %v, want 4", w)
+	}
+	if late.Granted != 2 {
+		t.Fatalf("late job granted %d, want the 2 freed cores", late.Granted)
+	}
+	if a.Stats().Waited != 1 {
+		t.Fatalf("waited = %d, want 1", a.Stats().Waited)
+	}
+}
+
+// TestSaturationQueuesFIFO: more same-instant arrivals than cores — every
+// core granted once, the surplus queues and runs in submission order.
+func TestSaturationQueuesFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	a := NewAdmission(eng, 2, 0)
+	var order []int
+	tickets := make([]*Ticket, 5)
+	eng.At(0, "submit", func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			tickets[i] = a.Submit(fmt.Sprintf("j%d", i), 2, func(p *sim.Proc, granted int) {
+				order = append(order, i)
+				p.Sleep(1)
+			})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+	// While demand exceeds the box every grant is one core; the last job
+	// runs alone and may take both.
+	for _, tk := range tickets[:4] {
+		if tk.Granted != 1 {
+			t.Fatalf("saturated grant = %d, want 1", tk.Granted)
+		}
+	}
+	if a.Stats().PeakQueue < 3 {
+		t.Fatalf("peak queue = %d, want >= 3", a.Stats().PeakQueue)
+	}
+	if a.Stats().Waited != 3 {
+		t.Fatalf("waited = %d, want 3", a.Stats().Waited)
 	}
 }
 
@@ -90,14 +181,14 @@ func TestBatchingEnablesSpinDown(t *testing.T) {
 		m := energy.NewMeter()
 		d := hw.NewDisk(eng, m, "d", hw.Cheetah15K())
 		d.SpinDownAfter = 15
-		b := NewBatcher(eng, window, 1)
+		a := NewAdmission(eng, 1, window)
 		rng := rand.New(rand.NewSource(4))
 		at := 0.0
 		for i := 0; i < 40; i++ {
 			at += 5 + rng.Float64()*5 // one query every ~7.5s for ~5 min
 			off := int64(i) * 100 * 1e6
 			eng.At(at, "arrival", func() {
-				b.Submit(func(p *sim.Proc) {
+				a.Submit("read", 1, func(p *sim.Proc, granted int) {
 					d.Read(p, off, 2*1e6)
 				})
 			})
@@ -120,60 +211,65 @@ func TestBatchingEnablesSpinDown(t *testing.T) {
 func TestBatchingLatencyCost(t *testing.T) {
 	run := func(window float64) float64 {
 		eng := sim.NewEngine()
-		b := NewBatcher(eng, window, 1)
+		a := NewAdmission(eng, 1, window)
 		for i := 0; i < 10; i++ {
 			at := float64(i)
 			eng.At(at, "a", func() {
-				b.Submit(func(p *sim.Proc) { p.Sleep(0.1) })
+				a.Submit("job", 1, func(p *sim.Proc, granted int) { p.Sleep(0.1) })
 			})
 		}
 		if err := eng.Run(); err != nil {
 			t.Fatal(err)
 		}
-		return b.Stats().MeanLatency()
+		return a.Stats().MeanLatency()
 	}
 	if l0, l30 := run(0), run(30); l30 <= l0 {
 		t.Fatalf("batching should cost latency: window0=%v window30=%v", l0, l30)
 	}
 }
 
-func TestBadWorkersPanics(t *testing.T) {
+func TestBadCoresPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")
 		}
 	}()
-	NewBatcher(sim.NewEngine(), 1, 0)
+	NewAdmission(sim.NewEngine(), 0, 1)
 }
 
-// Property: every submitted job completes exactly once regardless of
-// window, worker count and arrival pattern.
+// Property: every submitted job completes exactly once with a grant in
+// [1, cores], regardless of window, core count and arrival pattern, and
+// the controller ends drained.
 func TestAllJobsComplete(t *testing.T) {
-	f := func(seed int64, windowTenths, workers uint8) bool {
+	f := func(seed int64, windowTenths, cores uint8) bool {
 		eng := sim.NewEngine()
-		b := NewBatcher(eng, float64(windowTenths%50)/10, int(workers%4)+1)
+		nc := int(cores%4) + 1
+		a := NewAdmission(eng, nc, float64(windowTenths%50)/10)
 		rng := rand.New(rand.NewSource(seed))
 		n := rng.Intn(40) + 1
 		runs := make([]int, n)
+		grants := make([]int, n)
 		for i := 0; i < n; i++ {
 			i := i
 			at := rng.Float64() * 20
+			want := rng.Intn(6) + 1
 			eng.At(at, fmt.Sprintf("a%d", i), func() {
-				b.Submit(func(p *sim.Proc) {
+				a.Submit(fmt.Sprintf("j%d", i), want, func(p *sim.Proc, granted int) {
 					p.Sleep(rng.Float64() * 0.5)
 					runs[i]++
+					grants[i] = granted
 				})
 			})
 		}
 		if err := eng.Run(); err != nil {
 			return false
 		}
-		for _, r := range runs {
-			if r != 1 {
+		for i, r := range runs {
+			if r != 1 || grants[i] < 1 || grants[i] > nc {
 				return false
 			}
 		}
-		return b.Stats().Completed == int64(n) && b.Active() == 0
+		return a.Stats().Completed == int64(n) && a.Active() == 0 && a.FreeCores() == nc
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)

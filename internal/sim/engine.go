@@ -59,12 +59,13 @@ func (h *eventHeap) Pop() any {
 // Engine owns the virtual clock and the event queue.
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now   float64
-	queue eventHeap
-	seq   int64
-	yield chan struct{} // a running process signals here when it parks or ends
-	procs map[*Proc]struct{}
-	live  int
+	now     float64
+	queue   eventHeap
+	seq     int64
+	yield   chan struct{} // a running process signals here when it parks or ends
+	procs   map[*Proc]struct{}
+	live    int
+	current *Proc // the process executing right now, nil in event context
 }
 
 // NewEngine returns an engine with the clock at 0.
@@ -101,6 +102,22 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Live reports the number of processes that have started but not finished.
 func (e *Engine) Live() int { return e.live }
+
+// LiveNames reports the names of live processes, sorted (diagnostics).
+func (e *Engine) LiveNames() []string { return e.blockedNames() }
+
+// Step processes the single earliest pending event, reporting whether one
+// existed. Callers outside the simulation (a client iterating a streaming
+// result) use it to advance the virtual clock just far enough to produce
+// the data they are waiting for, instead of draining the whole event queue
+// with Run.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
 
 // Run processes events until none remain. If processes are still alive but
 // no event can ever wake them, Run returns a deadlock error naming them.
@@ -154,13 +171,22 @@ type Proc struct {
 	resume   chan struct{}
 	panicked any
 	dead     bool
+	owner    any
 }
 
 // Go starts fn as a new simulated process at the current time.
 // fn begins executing when the engine next reaches the current instant in
 // the event order.
+//
+// A process spawned from inside another process inherits the spawner's
+// owner tag (see SetOwner): helper processes a query fans out — exchange
+// workers, scan readers, per-device volume readers — charge the query's
+// account without every spawn site having to thread it through.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	if e.current != nil {
+		p.owner = e.current.owner
+	}
 	e.live++
 	e.procs[p] = struct{}{}
 	go func() {
@@ -186,8 +212,11 @@ func (e *Engine) wake(p *Proc) {
 	if p.dead {
 		return
 	}
+	prev := e.current
+	e.current = p
 	p.resume <- struct{}{}
 	<-e.yield
+	e.current = prev
 	if p.panicked != nil {
 		panic(p.panicked)
 	}
@@ -201,6 +230,16 @@ func (p *Proc) park() {
 
 // Name reports the process name given to Go.
 func (p *Proc) Name() string { return p.name }
+
+// SetOwner attaches an opaque accounting tag to the process. The kernel
+// never interprets it; hardware models read it back through Owner to
+// attribute the work a process drives (see energy.Charger). Processes
+// spawned from this process while the tag is set inherit it (see Go), so
+// a query's whole process tree charges one account.
+func (p *Proc) SetOwner(o any) { p.owner = o }
+
+// Owner reports the tag set by SetOwner, or nil.
+func (p *Proc) Owner() any { return p.owner }
 
 // Engine returns the owning engine.
 func (p *Proc) Engine() *Engine { return p.eng }
