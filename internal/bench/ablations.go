@@ -263,9 +263,10 @@ func RunBufferPolicy() (*BufferPolicyResult, error) {
 		eng.Go("trace", func(p *sim.Proc) {
 			get := func(file int32, page int64, vol *storage.Volume, joules float64) {
 				k := buffer.PageKey{File: file, Page: page}
-				pool.Get(p, k, func(pp *sim.Proc) {
+				pool.Get(p, k, func(pp *sim.Proc) error {
 					vol.ReadPage(pp, page)
 					pool.SetRefetchCost(k, joules)
+					return nil
 				})
 				pool.Unpin(k)
 			}

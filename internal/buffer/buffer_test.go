@@ -108,7 +108,7 @@ func TestLoadChargedOnlyOnMiss(t *testing.T) {
 	loads := 0
 	e.Go("driver", func(p *sim.Proc) {
 		for i := 0; i < 5; i++ {
-			pl.Get(p, key(7), func(*sim.Proc) { loads++ })
+			pl.Get(p, key(7), func(*sim.Proc) error { loads++; return nil })
 			pl.Unpin(key(7))
 		}
 	})

@@ -78,27 +78,31 @@ func (pl *Pool) Contains(k PageKey) bool {
 // not resident. Callers must Unpin when done. If the pool is full of
 // pinned pages, the new page is loaded and passed through unpinned-on-
 // arrival (it still counts as a miss and is not cached), so Get never
-// deadlocks.
-func (pl *Pool) Get(p *sim.Proc, k PageKey, load func(p *sim.Proc)) {
+// deadlocks. A load error propagates to the caller: the page is neither
+// pinned nor cached, and no Unpin is owed.
+func (pl *Pool) Get(p *sim.Proc, k PageKey, load func(p *sim.Proc) error) error {
 	if f, ok := pl.pages[k]; ok {
 		pl.stats.Hits++
 		f.pins++
 		pl.policy.Touched(k)
-		return
+		return nil
 	}
 	pl.stats.Misses++
 	if load != nil {
-		load(p)
+		if err := load(p); err != nil {
+			return err
+		}
 	}
 	if !pl.makeRoom() {
 		// Everything is pinned: serve the page without caching it by
 		// inserting a transient pinned frame the Unpin will drop.
 		pl.pages[k] = &frame{pins: 1}
 		pl.policy.Inserted(k)
-		return
+		return nil
 	}
 	pl.pages[k] = &frame{pins: 1}
 	pl.policy.Inserted(k)
+	return nil
 }
 
 // makeRoom evicts until a free frame exists; reports success.
@@ -131,6 +135,17 @@ func (pl *Pool) Unpin(k PageKey) {
 		delete(pl.pages, k)
 		pl.policy.Removed(k)
 		pl.stats.Evictions++
+	}
+}
+
+// Reset drops every cached page and every pin. The pool's contents are
+// volatile — they do not survive a crash — and the pins held by killed
+// query processes must not brick frames forever, so recovery empties the
+// pool and the replacement policy together.
+func (pl *Pool) Reset() {
+	for k := range pl.pages {
+		delete(pl.pages, k)
+		pl.policy.Removed(k)
 	}
 }
 

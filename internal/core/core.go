@@ -13,6 +13,7 @@ import (
 	"energydb/internal/compress"
 	"energydb/internal/energy"
 	"energydb/internal/exec"
+	"energydb/internal/fault"
 	"energydb/internal/hw"
 	"energydb/internal/opt"
 	"energydb/internal/sched"
@@ -56,6 +57,14 @@ type Config struct {
 	WALBatch   int
 	WALTimeout float64
 
+	// RetryMax is how many times a query is re-executed after a
+	// transient device fault (fault.ErrTransientIO) before the error is
+	// surfaced; 0 disables retry. RetryBackoff is the first retry's
+	// simulated-time delay, doubled per attempt (default 2 ms when
+	// RetryMax > 0).
+	RetryMax     int
+	RetryBackoff float64
+
 	// Variants restricts which physical placements are built and offered
 	// to the optimizer (subset of "col/default", "col/raw", "row/raw");
 	// empty means all three. Experiments use it to pin the physical
@@ -89,15 +98,18 @@ type DB struct {
 	// Attr splits the whole-server meter among concurrent queries.
 	Attr *energy.Attributor
 
-	cfg       Config
-	schemas   map[string]*table.Schema
-	mem       map[string]*table.Table // in-memory (unplaced or dirty) tables
-	dirty     map[string]bool
-	epochs    map[string]int64 // placement epoch per table, bumped by place()
-	fileSeq   int32
-	queries   int64
-	nextSess  int64
-	nextQuery int64
+	cfg         Config
+	schemas     map[string]*table.Schema
+	mem         map[string]*table.Table // in-memory (unplaced or dirty) tables
+	dirty       map[string]bool
+	epochs      map[string]int64 // placement epoch per table, bumped by place()
+	durableRows map[string]int64 // rows covered by the last placement (the checkpoint)
+	inflight    map[int64]*Rows  // submitted-or-pending statements not yet finished
+	fileSeq     int32
+	queries     int64
+	crashes     int64
+	nextSess    int64
+	nextQuery   int64
 }
 
 // Open builds the simulated machine and an empty database on it.
@@ -158,15 +170,20 @@ func Open(cfg Config) (*DB, error) {
 
 	db := &DB{
 		Srv: srv, Vol: vol, Pool: pool,
-		Catalog:   opt.NewCatalog(),
-		Objective: cfg.Objective,
-		Adm:       sched.NewAdmission(srv.Eng, srv.CPU.Cores(), 0),
-		Attr:      energy.NewAttributor(srv.Meter),
-		cfg:       cfg,
-		schemas:   map[string]*table.Schema{},
-		mem:       map[string]*table.Table{},
-		dirty:     map[string]bool{},
-		epochs:    map[string]int64{},
+		Catalog:     opt.NewCatalog(),
+		Objective:   cfg.Objective,
+		Adm:         sched.NewAdmission(srv.Eng, srv.CPU.Cores(), 0),
+		Attr:        energy.NewAttributor(srv.Meter),
+		cfg:         cfg,
+		schemas:     map[string]*table.Schema{},
+		mem:         map[string]*table.Table{},
+		dirty:       map[string]bool{},
+		epochs:      map[string]int64{},
+		durableRows: map[string]int64{},
+		inflight:    map[int64]*Rows{},
+	}
+	if cfg.RetryMax > 0 && cfg.RetryBackoff == 0 {
+		db.cfg.RetryBackoff = 0.002
 	}
 	if cfg.WALBatch > 0 {
 		if cfg.WALTimeout == 0 && cfg.WALBatch > 1 {
@@ -262,20 +279,32 @@ func (db *DB) Insert(name string, rows [][]table.Value) error {
 		}
 		coerced[ri] = cr
 	}
+	// Write-ahead: the insert becomes durable before it becomes visible.
+	// The record carries the real row data, so crash recovery can rebuild
+	// the table from its placement checkpoint plus the log suffix; a
+	// failed or crashed commit leaves no phantom rows behind.
+	if db.Log != nil {
+		payload := encodeInsert(name, s, int64(t.Rows()), coerced)
+		committed := false
+		err := db.run("wal", func(p *sim.Proc) error {
+			if _, e := db.Log.Append(p, payload); e != nil {
+				return fmt.Errorf("core: insert into %q not durable: %w", name, e)
+			}
+			committed = true
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if !committed {
+			// The engine crashed while the commit was in flight.
+			return fmt.Errorf("core: insert into %q: %w", name, fault.ErrCrashed)
+		}
+	}
 	for _, r := range coerced {
 		t.AppendRow(r...)
 	}
 	db.dirty[name] = true
-	if db.Log != nil {
-		bytes := int64(len(rows) * s.RowWidth())
-		if bytes < 64 {
-			bytes = 64
-		}
-		return db.run("wal", func(p *sim.Proc) error {
-			db.Log.Commit(p, bytes)
-			return nil
-		})
-	}
 	return nil
 }
 
@@ -334,6 +363,10 @@ func (db *DB) place(name string) error {
 	db.Catalog.Add(name, &opt.Placement{Variants: variants, Stats: opt.Analyze(t)})
 	db.dirty[name] = false
 	db.epochs[name]++ // invalidates plans cached against the old placement
+	// Placement doubles as the table's checkpoint: every placed row is on
+	// the (crash-surviving) data volume, so recovery keeps this prefix
+	// and replays only WAL records past it.
+	db.durableRows[name] = int64(t.Rows())
 	return nil
 }
 
@@ -479,6 +512,9 @@ func (db *DB) run(name string, fn func(p *sim.Proc) error) error {
 
 // Queries reports how many SELECTs have completed (via Exec or sessions).
 func (db *DB) Queries() int64 { return db.queries }
+
+// Crashes reports how many times the engine has crashed and recovered.
+func (db *DB) Crashes() int64 { return db.crashes }
 
 // Schema returns a registered table's schema.
 func (db *DB) Schema(name string) (*table.Schema, bool) {

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"energydb/internal/energy"
+	"energydb/internal/exec"
+	"energydb/internal/fault"
 	"energydb/internal/opt"
 	"energydb/internal/sched"
 	"energydb/internal/sim"
@@ -120,18 +123,37 @@ func (st *Stmt) Text() string { return st.text }
 // Query submits the statement for execution after the session's previous
 // statement finishes, returning a Rows handle immediately. Nothing runs
 // until the simulation is pumped (Rows methods or DB.Drain).
-func (st *Stmt) Query() (*Rows, error) { return st.QueryAt(0) }
+func (st *Stmt) Query() (*Rows, error) { return st.queryAt(0, 0) }
 
 // QueryAt submits the statement at simulated time at (or when the
 // session's previous statement finishes, whichever is later).
-func (st *Stmt) QueryAt(at float64) (*Rows, error) {
+func (st *Stmt) QueryAt(at float64) (*Rows, error) { return st.queryAt(at, 0) }
+
+// QueryDeadline submits the statement with an absolute deadline (engine
+// seconds). A query whose deadline passes while it is queued never runs —
+// it is rejected by admission without opening an energy account — and a
+// query caught running at its deadline is cancelled at its next batch
+// boundary, returning its core grant. Either way Rows.Err reports a
+// *exec.QueryError wrapping fault.ErrDeadlineExceeded.
+func (st *Stmt) QueryDeadline(deadline float64) (*Rows, error) {
+	return st.queryAt(0, deadline)
+}
+
+// QueryAtDeadline combines QueryAt's arrival time with QueryDeadline's
+// deadline, for drivers that model per-arrival latency budgets.
+func (st *Stmt) QueryAtDeadline(at, deadline float64) (*Rows, error) {
+	return st.queryAt(at, deadline)
+}
+
+func (st *Stmt) queryAt(at, deadline float64) (*Rows, error) {
 	s := st.sess
 	if s.closed {
 		return nil, fmt.Errorf("core: session %d is closed", s.id)
 	}
 	db := s.db
 	db.nextQuery++
-	r := &Rows{db: db, stmt: st, id: db.nextQuery, at: at}
+	r := &Rows{db: db, stmt: st, id: db.nextQuery, at: at, deadline: deadline}
+	db.inflight[r.id] = r
 	prev := s.tail
 	s.tail = r
 	if prev == nil || prev.done {
@@ -187,13 +209,18 @@ type Rows struct {
 	id   int64
 	at   float64 // requested submission time
 
-	submitT float64 // actual submission time
-	startT  float64 // admission time
-	startE  energy.Joules
-	granted int
-	ticket  *sched.Ticket
+	deadline  float64 // absolute engine time; 0 = none
+	pending   bool    // a submit timer is scheduled for a future arrival
+	submitted bool    // handed to the admission controller
+	submitT   float64 // actual submission time
+	startT    float64 // admission time
+	startE    energy.Joules
+	granted   int
+	ticket    *sched.Ticket
+	retries   int
 
 	cancel  bool // producer stops at its next batch boundary
+	expired bool // the deadline tripped while the query was running
 	done    bool
 	closed  bool
 	discard bool
@@ -242,14 +269,23 @@ func (r *Rows) Err() error { return r.err }
 // query process (and the exchange workers under it) stops at its next
 // batch boundary and its cancelled scan readers unwind at theirs, so
 // once the engine drains no process of the query is left alive — and
-// releases buffered batches. Closing a finished Rows just releases its
-// buffers.
+// releases buffered batches. Closing a statement that is still *queued*
+// at admission dequeues it without ever dispatching it: it opens no
+// energy account and counts as Canceled, not Completed, in the admission
+// stats. Closing a finished Rows just releases its buffers. A close is
+// the client's own decision, so it is not an error: Err stays nil unless
+// the query had already failed.
 func (r *Rows) Close() error {
 	if r.closed {
 		return r.err
 	}
 	r.closed = true
 	r.cancel = true
+	if !r.done && r.ticket != nil && r.db.Adm.Cancel(r.ticket) {
+		// Dequeued before it ever ran: settle immediately. finish() sees
+		// no plan and no account, so nothing is billed.
+		r.finish(r.db.Srv.Eng.Now())
+	}
 	r.db.pumpUntil(func() bool { return r.done })
 	r.batches = nil
 	r.cur = nil
@@ -307,6 +343,21 @@ func (r *Rows) RowCount() (int64, error) {
 // Granted reports the cores granted at admission (0 until admitted).
 func (r *Rows) Granted() int { return r.granted }
 
+// Retries reports how many times the statement was re-executed after a
+// transient device fault (see Config.RetryMax).
+func (r *Rows) Retries() int { return r.retries }
+
+// Attributed reports the energy billed to this query's account (zero
+// until settled). Unlike Result it is readable even when the query
+// failed: a crashed or faulted query's joules are still its joules, and
+// harnesses verifying the attribution invariant need them.
+func (r *Rows) Attributed() energy.Joules {
+	if r.res == nil {
+		return 0
+	}
+	return r.res.Attributed
+}
+
 // Drain runs the simulation until no scheduled work remains: every
 // submitted statement on every session has finished. Multi-stream
 // drivers submit their whole workload and then Drain once.
@@ -321,27 +372,65 @@ func (db *DB) pumpUntil(ready func() bool) {
 }
 
 // submitRows hands a statement to the admission controller, at its
-// requested time if that is still in the future.
+// requested time if that is still in the future. It is idempotent: a
+// statement can be offered both by its predecessor's onDone hook and by
+// crash recovery's re-arm pass, and must be submitted exactly once.
 func (db *DB) submitRows(r *Rows) {
+	if r.pending || r.submitted || r.done {
+		return
+	}
 	eng := db.Srv.Eng
 	if r.at > eng.Now() {
-		eng.At(r.at, fmt.Sprintf("submit%d", r.id), func() { db.doSubmit(r) })
+		r.pending = true
+		eng.At(r.at, fmt.Sprintf("submit%d", r.id), func() {
+			r.pending = false
+			db.doSubmit(r)
+		})
 		return
 	}
 	db.doSubmit(r)
 }
 
 func (db *DB) doSubmit(r *Rows) {
+	if r.cancel {
+		// Closed before it was ever handed to admission (a chained or
+		// future-scheduled statement): settle without submitting.
+		r.finish(db.Srv.Eng.Now())
+		return
+	}
+	r.submitted = true
 	r.submitT = db.Srv.Eng.Now()
 	r.startE = db.Srv.Meter.TotalEnergy(energy.Seconds(r.submitT))
-	r.ticket = db.Adm.Submit(fmt.Sprintf("query%d", r.id), db.Env.Cores, func(p *sim.Proc, granted int) {
-		db.runQuery(p, r, granted)
+	r.ticket = db.Adm.SubmitJob(sched.Job{
+		Name:     fmt.Sprintf("query%d", r.id),
+		Want:     db.Env.Cores,
+		Deadline: r.deadline,
+		Run:      func(p *sim.Proc, granted int) { db.runQuery(p, r, granted) },
+		Fail:     func(err error) { db.failRows(r, err) },
 	})
 }
 
+// failRows settles a query that admission rejected before it ever ran
+// (its deadline passed while queued). No plan was compiled and no energy
+// account was opened, so the query bills nothing.
+func (db *DB) failRows(r *Rows, err error) {
+	if r.done {
+		return
+	}
+	r.err = &exec.QueryError{Query: r.stmt.text, ID: r.id, Err: err}
+	r.finish(db.Srv.Eng.Now())
+}
+
 // runQuery is the admitted query's process: plan for the grant, open an
-// attribution account, execute, and settle the result.
+// attribution account, execute — retrying transient device faults with
+// exponential sim-time backoff, every attempt billed to the same account
+// — and settle the result.
 func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
+	if r.done {
+		// Settled while queued (crash recovery or a late cancel lost the
+		// race with dispatch): the grant goes straight back.
+		return
+	}
 	r.granted = granted
 	r.startT = p.Now()
 	if !r.cancel {
@@ -355,12 +444,49 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 			// serialize later arrivals behind idle cores. Result.Granted
 			// keeps the admission grant the plan was priced against.
 			db.Adm.Shrink(r.ticket, plan.MaxDOP())
+			if r.deadline > 0 {
+				// The admission-side timer cannot touch a running job;
+				// this one can. At the deadline the query's cancel flag
+				// trips and it stops at its next batch boundary,
+				// returning its grant when the process exits.
+				db.Srv.Eng.At(r.deadline, fmt.Sprintf("deadline%d", r.id), func() {
+					if !r.done {
+						r.expired = true
+						r.cancel = true
+					}
+				})
+			}
 			acct := db.Attr.Begin(energy.Seconds(p.Now()))
 			r.acct = acct
 			p.SetOwner(acct)
-			r.err = db.executeRows(p, r, plan)
+			backoff := db.cfg.RetryBackoff
+			for attempt := 0; ; attempt++ {
+				r.err = db.executeRows(p, r, plan)
+				if r.err == nil || r.cancel ||
+					!fault.IsTransient(r.err) || attempt >= db.cfg.RetryMax {
+					break
+				}
+				// Transient device fault: drop the partial result, back
+				// off in simulated time, and re-execute from the cached
+				// plan. The account stays open across attempts, so one
+				// query bills exactly one account however often it runs.
+				r.retries++
+				r.batches, r.pos, r.cur, r.rowCount = nil, 0, nil, 0
+				p.Sleep(backoff)
+				backoff *= 2
+			}
 			p.SetOwner(nil)
 			db.Attr.End(acct, energy.Seconds(p.Now()))
+		}
+	}
+	if r.expired && r.err == nil {
+		r.err = fmt.Errorf("core: query %d past deadline %.6f: %w",
+			r.id, r.deadline, fault.ErrDeadlineExceeded)
+	}
+	if r.err != nil {
+		var qe *exec.QueryError
+		if !errors.As(r.err, &qe) {
+			r.err = &exec.QueryError{Query: r.stmt.text, ID: r.id, Err: r.err}
 		}
 	}
 	r.finish(p.Now())
@@ -425,6 +551,7 @@ func (r *Rows) finish(now float64) {
 	if r.err == nil && r.plan != nil {
 		r.db.queries++
 	}
+	delete(r.db.inflight, r.id)
 	r.done = true
 	for _, f := range r.onDone {
 		f()

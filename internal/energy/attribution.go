@@ -144,6 +144,10 @@ func (acct *Account) Direct() Joules {
 // Shared reports this query's accumulated residual (idle-floor) share.
 func (acct *Account) Shared() Joules { return acct.shared }
 
+// Closed reports whether End has been called on the account. Crash
+// recovery uses it to close only the accounts still open at the crash.
+func (acct *Account) Closed() bool { return acct.closed }
+
 // Attributed reports the query's total energy share. Across concurrent
 // queries these sum, with Unattributed, to the whole-server meter.
 func (acct *Account) Attributed() Joules { return acct.Direct() + acct.shared }

@@ -1,0 +1,25 @@
+package exec
+
+import "fmt"
+
+// QueryError is the typed failure a statement surfaces through Rows.Err:
+// it names the query and wraps the underlying cause, which is always
+// classifiable against the internal/fault taxonomy (ErrDeviceFailed,
+// ErrTransientIO, ErrDeadlineExceeded, ErrCanceled, ErrMemBudget,
+// ErrCrashed) via errors.Is.
+type QueryError struct {
+	Query string // statement name or SQL fragment, for diagnostics
+	ID    int64  // session statement id, 0 if unknown
+	Err   error  // the underlying cause
+}
+
+// Error implements error.
+func (e *QueryError) Error() string {
+	if e.Query == "" {
+		return fmt.Sprintf("query %d: %v", e.ID, e.Err)
+	}
+	return fmt.Sprintf("query %d (%s): %v", e.ID, e.Query, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *QueryError) Unwrap() error { return e.Err }

@@ -1,0 +1,41 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"energydb/internal/fault"
+	"energydb/internal/sim"
+)
+
+// TestHashJoinMemBudgetTyped: a build side exceeding Ctx.MemBudgetBytes
+// must fail with the typed fault.ErrMemBudget (so the session layer can
+// classify it as non-retryable), free the partial build state, and leave
+// zero live processes once the engine drains.
+func TestHashJoinMemBudgetTyped(t *testing.T) {
+	build := ordersLike(5000)
+	probe := ordersLike(100)
+	r := newRig(2)
+	r.eng.Go("query", func(p *sim.Proc) {
+		ctx := NewCtx(p, r.cpu)
+		ctx.MemBudgetBytes = 1 << 10 // tiny: the build side cannot fit
+		j := NewHashJoin(&Values{Tab: build}, &Values{Tab: probe}, 0, 0)
+		_, err := RowCount(ctx, j)
+		if err == nil {
+			t.Error("join under a 1 KiB budget succeeded")
+			return
+		}
+		if !errors.Is(err, fault.ErrMemBudget) {
+			t.Errorf("error not typed ErrMemBudget: %v", err)
+		}
+		if j.buildB != nil || j.buildBytes != 0 || j.htI != nil || j.htF != nil || j.htS != nil {
+			t.Error("partial build state not freed after budget failure")
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if live := r.eng.Live(); live != 0 {
+		t.Fatalf("%d live process(es) after drain: %v", live, r.eng.LiveNames())
+	}
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"energydb/internal/fault"
 	"energydb/internal/table"
 )
 
@@ -251,8 +252,13 @@ func (j *HashJoin) Open(ctx *Ctx) error {
 		j.buildBytes += l.bytes
 	}
 	if ctx.MemBudgetBytes > 0 && j.buildBytes > ctx.MemBudgetBytes {
-		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d)",
-			j.buildBytes, ctx.MemBudgetBytes)
+		// Free the partial build state before failing so an aborted query
+		// does not pin the materialised build side for the Rows' lifetime.
+		over := j.buildBytes
+		j.buildB, j.buildBytes = nil, 0
+		j.htI, j.htF, j.htS = nil, nil, nil
+		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d): %w",
+			over, ctx.MemBudgetBytes, fault.ErrMemBudget)
 	}
 
 	// Phase 3: build each partition's typed hash table over its row span —

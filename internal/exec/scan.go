@@ -37,10 +37,17 @@ type ColumnScan struct {
 	eof     bool
 	started bool
 	cancel  bool
-	ready   *sim.Mailbox[int]
+	ready   *sim.Mailbox[blockMsg]
 	credits *sim.Mailbox[int]
 	sel     []int32      // reusable selection vector
 	view    *table.Batch // reusable output view batch
+}
+
+// blockMsg is one delivery from a scan reader process: a fetched block
+// index, an I/O error, or (b < 0, err == nil) end of stream.
+type blockMsg struct {
+	b   int
+	err error
 }
 
 // NewColumnScan builds a scan; emit positions index into readCols. A scan
@@ -116,7 +123,12 @@ func (s *ColumnScan) Next(ctx *Ctx) (*table.Batch, error) {
 	if !s.started {
 		s.start(ctx)
 	}
-	b := s.ready.Get(ctx.P)
+	m := s.ready.Get(ctx.P)
+	if m.err != nil {
+		s.eof = true
+		return nil, fmt.Errorf("exec: scan %s: %w", s.schema.Name, m.err)
+	}
+	b := m.b
 	if b < 0 {
 		s.eof = true
 		return nil, nil
@@ -188,7 +200,7 @@ type RowScan struct {
 	eof     bool
 	started bool
 	cancel  bool
-	ready   *sim.Mailbox[int]
+	ready   *sim.Mailbox[blockMsg]
 	credits *sim.Mailbox[int]
 	sel     []int32      // reusable selection vector
 	view    *table.Batch // reusable output view batch
@@ -244,16 +256,17 @@ func (s *RowScan) startMorsels(ctx *Ctx) {
 // (window <= 0 selects 2) and a reader process — and runs the protocol:
 // claim a morsel, gate each of its blocks on a pipeline credit, collect
 // the block's pages via pageList, fetch them in one vectored request and
-// announce the block on ready; when the dispenser runs dry a -1 sentinel
-// marks end of stream. Cancellation is checked after every credit, so a
-// closing consumer can always release a parked reader with a single
-// credit.
-func startMorselReader(ctx *Ctx, name string, window int, vol *storage.Volume, morsels *Morsels, cancelled func() bool, pageList func(b int, pages []int64) []int64) (ready, credits *sim.Mailbox[int]) {
+// announce the block on ready; when the dispenser runs dry a sentinel
+// (b < 0) marks end of stream. A device error is announced the same way
+// (b < 0 with err set) and ends the reader. Cancellation is checked
+// after every credit, so a closing consumer can always release a parked
+// reader with a single credit.
+func startMorselReader(ctx *Ctx, name string, window int, vol *storage.Volume, morsels *Morsels, cancelled func() bool, pageList func(b int, pages []int64) []int64) (ready *sim.Mailbox[blockMsg], credits *sim.Mailbox[int]) {
 	if window <= 0 {
 		window = 2
 	}
 	eng := ctx.P.Engine()
-	ready = sim.NewMailbox[int](eng, name+":ready")
+	ready = sim.NewMailbox[blockMsg](eng, name+":ready")
 	credits = sim.NewMailbox[int](eng, name+":credits")
 	for i := 0; i < window; i++ {
 		credits.Put(1)
@@ -271,11 +284,14 @@ func startMorselReader(ctx *Ctx, name string, window int, vol *storage.Volume, m
 					return
 				}
 				pages = pageList(b, pages[:0])
-				vol.ReadPages(rp, pages)
-				ready.Put(b)
+				if err := vol.ReadPages(rp, pages); err != nil {
+					ready.Put(blockMsg{b: -1, err: err})
+					return
+				}
+				ready.Put(blockMsg{b: b})
 			}
 		}
-		ready.Put(-1) // end of stream
+		ready.Put(blockMsg{b: -1}) // end of stream
 	})
 	return ready, credits
 }
@@ -283,7 +299,7 @@ func startMorselReader(ctx *Ctx, name string, window int, vol *storage.Volume, m
 func (s *RowScan) start(ctx *Ctx) {
 	s.started = true
 	eng := ctx.P.Engine()
-	s.ready = sim.NewMailbox[int](eng, "rowscan:ready")
+	s.ready = sim.NewMailbox[blockMsg](eng, "rowscan:ready")
 	st := s.ST
 	if len(st.rows) == 0 {
 		return
@@ -304,14 +320,17 @@ func (s *RowScan) start(ctx *Ctx) {
 	}
 	window := s.Window * 32 // pages in flight
 	eng.Go(fmt.Sprintf("rowscan:%s", st.Tab.Schema.Name), func(rp *sim.Proc) {
-		st.Vol.Scan(rp, firstPage, lastPage, window, func(pg int64) {
+		err := st.Vol.Scan(rp, firstPage, lastPage, window, func(pg int64) {
 			for _, b := range blocksOf[pg] {
 				remaining[b]--
 				if remaining[b] == 0 {
-					s.ready.Put(b)
+					s.ready.Put(blockMsg{b: b})
 				}
 			}
 		})
+		if err != nil {
+			s.ready.Put(blockMsg{b: -1, err: err})
+		}
 	})
 }
 
@@ -326,7 +345,12 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 		if !s.started {
 			s.startMorsels(ctx)
 		}
-		bi = s.ready.Get(ctx.P)
+		m := s.ready.Get(ctx.P)
+		if m.err != nil {
+			s.eof = true
+			return nil, fmt.Errorf("exec: scan %s: %w", s.schema.Name, m.err)
+		}
+		bi = m.b
 		if bi < 0 {
 			s.eof = true
 			return nil, nil
@@ -342,7 +366,13 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 		}
 		// Blocks arrive in I/O completion order; row order within the
 		// relation is not semantically meaningful.
-		bi = s.ready.Get(ctx.P)
+		m := s.ready.Get(ctx.P)
+		if m.err != nil {
+			s.eof = true
+			s.next = len(s.ST.rows)
+			return nil, fmt.Errorf("exec: scan %s: %w", s.schema.Name, m.err)
+		}
+		bi = m.b
 		s.next++
 	default:
 		if s.next >= len(s.ST.rows) {
@@ -359,15 +389,23 @@ func (s *RowScan) Next(ctx *Ctx) (*table.Batch, error) {
 		for pg := pageLo; pg < pageHi; pg++ {
 			if ctx.Pool != nil {
 				k := buffer.PageKey{File: s.ST.FileID, Page: pg}
-				ctx.Pool.Get(ctx.P, k, func(p *sim.Proc) {
-					s.ST.Vol.ReadPage(p, pg)
+				err := ctx.Pool.Get(ctx.P, k, func(p *sim.Proc) error {
+					if err := s.ST.Vol.ReadPage(p, pg); err != nil {
+						return err
+					}
 					if ctx.PageRefetchJoules > 0 {
 						ctx.Pool.SetRefetchCost(k, ctx.PageRefetchJoules)
 					}
+					return nil
 				})
+				if err != nil {
+					return nil, fmt.Errorf("exec: scan %s: %w", s.schema.Name, err)
+				}
 				ctx.Pool.Unpin(k)
 			} else {
-				s.ST.Vol.ReadPage(ctx.P, pg)
+				if err := s.ST.Vol.ReadPage(ctx.P, pg); err != nil {
+					return nil, fmt.Errorf("exec: scan %s: %w", s.schema.Name, err)
+				}
 			}
 		}
 	}

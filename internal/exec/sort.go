@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"math"
 	"slices"
 
@@ -127,9 +128,13 @@ func (s *Sort) Open(ctx *Ctx) error {
 		s.Spills = runs
 		firstPage, pages := ctx.Temp.AllocBytes(bytes)
 		for pg := firstPage; pg < firstPage+pages; pg++ {
-			ctx.Temp.WritePage(ctx.P, pg)
+			if err := ctx.Temp.WritePage(ctx.P, pg); err != nil {
+				return fmt.Errorf("exec: sort spill: %w", err)
+			}
 		}
-		ctx.Temp.ReadRange(ctx.P, firstPage, firstPage+pages)
+		if err := ctx.Temp.ReadRange(ctx.P, firstPage, firstPage+pages); err != nil {
+			return fmt.Errorf("exec: sort spill: %w", err)
+		}
 		// Merge cost: one more comparison pass.
 		ctx.ChargeRows(n, ctx.Costs.SortCyclesPerRowLog*math.Log2(float64(runs+1)))
 	}

@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestDeviceFaultScript(t *testing.T) {
+	f := NewDeviceFault("d0").TransientAt(1.0, 2).LimpAt(2.0, 3.0).FailAt(5.0)
+
+	if err := f.Check(0.5); err != nil {
+		t.Fatalf("before any window: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := f.Check(1.0 + float64(i)/10); !errors.Is(err, ErrTransientIO) {
+			t.Fatalf("transient %d: %v", i, err)
+		}
+	}
+	if err := f.Check(1.3); err != nil {
+		t.Fatalf("after tokens consumed: %v", err)
+	}
+	if got := f.Stretch(1.5, 2.0); got != 2.0 {
+		t.Fatalf("stretch before limp = %v", got)
+	}
+	if got := f.Stretch(2.5, 2.0); got != 6.0 {
+		t.Fatalf("stretch while limping = %v", got)
+	}
+	if err := f.Check(5.0); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("after death: %v", err)
+	}
+	if !f.Failed(6.0) || f.Failed(4.9) {
+		t.Fatal("Failed() disagrees with the death time")
+	}
+}
+
+func TestNilDeviceFaultIsInert(t *testing.T) {
+	var f *DeviceFault
+	if err := f.Check(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stretch(1, 2.5); got != 2.5 {
+		t.Fatalf("stretch = %v", got)
+	}
+	if f.Failed(1) {
+		t.Fatal("nil fault reports failed")
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	wrapped := fmt.Errorf("scan: %w", fmt.Errorf("dev: %w", ErrTransientIO))
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient not recognised")
+	}
+	for _, err := range []error{ErrDeviceFailed, ErrDeadlineExceeded, ErrCanceled, ErrMemBudget, ErrCrashed, nil} {
+		if IsTransient(err) {
+			t.Fatalf("%v classified transient", err)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	a, b := NewInjector(7), NewInjector(7)
+	for i := 0; i < 16; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.Device("x") != a.Device("x") {
+		t.Fatal("Device is not a stable handle")
+	}
+	if a.Seed() != 7 {
+		t.Fatalf("seed = %d", a.Seed())
+	}
+}

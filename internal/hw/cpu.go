@@ -171,3 +171,8 @@ func (c *CPU) Utilization() float64 {
 
 // Resource exposes the underlying core resource (for schedulers).
 func (c *CPU) Resource() *sim.Resource { return c.res }
+
+// Reset returns every core to the free pool after Engine.Crash has
+// unwound the processes that held them; the power trace drops to idle at
+// the crash instant.
+func (c *CPU) Reset() { c.res.Reset() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"energydb/internal/energy"
+	"energydb/internal/fault"
 	"energydb/internal/sim"
 )
 
@@ -81,6 +82,7 @@ type Disk struct {
 	nextOffset int64 // for sequential-access detection
 	idleGen    int64
 	stats      DiskStats
+	fault      *fault.DeviceFault
 }
 
 // NewDisk registers a disk on the meter, initially spinning and idle.
@@ -113,24 +115,48 @@ func (d *Disk) setState(s SpinState, w energy.Watts) {
 	d.trace.Set(energy.Seconds(d.eng.Now()), w)
 }
 
+// SetFault attaches a scripted fault schedule. Every subsequent request
+// consults it: a dead device fails instantly, an armed transient window
+// fails the request, and limp mode stretches service time. nil clears.
+func (d *Disk) SetFault(f *fault.DeviceFault) { d.fault = f }
+
+// Reset returns the disk to a quiescent idle state after Engine.Crash
+// has unwound every process that could be mid-request.
+func (d *Disk) Reset() {
+	d.res.Reset()
+	d.idleGen++
+	d.nextOffset = -1
+	if d.state != SpinStandby {
+		d.setState(SpinIdle, d.spec.IdleWatts)
+	}
+}
+
 // Read performs a read of size bytes at offset, blocking the calling
 // process for the modelled service time. Sequential reads (offset equal to
 // the end of the previous access) skip the seek and rotational delay.
-func (d *Disk) Read(p *sim.Proc, offset, size int64) {
-	d.access(p, offset, size, false)
+// It fails with a typed fault error if a fault script says so.
+func (d *Disk) Read(p *sim.Proc, offset, size int64) error {
+	return d.access(p, offset, size, false)
 }
 
 // Write performs a write of size bytes at offset.
-func (d *Disk) Write(p *sim.Proc, offset, size int64) {
-	d.access(p, offset, size, true)
+func (d *Disk) Write(p *sim.Proc, offset, size int64) error {
+	return d.access(p, offset, size, true)
 }
 
-func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) {
+func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) error {
 	if size <= 0 {
 		panic(fmt.Sprintf("hw: disk %s access of %d bytes", d.spec.Name, size))
 	}
 	d.res.Acquire(p, 1)
 	d.idleGen++ // cancel any pending spin-down decision
+	if err := d.fault.Check(p.Now()); err != nil {
+		// The request dies before the actuator moves: no service time,
+		// no energy beyond the idle floor the meter already charges.
+		d.armSpinDown()
+		d.res.Release(1)
+		return err
+	}
 
 	if d.state == SpinStandby {
 		d.setState(SpinActive, d.spec.SpinUpWatts)
@@ -151,6 +177,7 @@ func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) {
 		bw = d.spec.SeqWriteBW
 	}
 	service += float64(size) / bw
+	service = d.fault.Stretch(p.Now(), service)
 	p.Sleep(service)
 	chargeOwner(p, float64(d.spec.ActiveWatts-d.spec.IdleWatts)*service)
 
@@ -166,6 +193,7 @@ func (d *Disk) access(p *sim.Proc, offset, size int64, write bool) {
 	d.setState(SpinIdle, d.spec.IdleWatts)
 	d.armSpinDown()
 	d.res.Release(1)
+	return nil
 }
 
 // armSpinDown schedules the idle spin-down check. A generation counter
@@ -187,15 +215,22 @@ func (d *Disk) armSpinDown() {
 // sequential append must wait on average half a rotation for the commit
 // sector to come around (plus cache flush). Group commit exists to
 // amortise exactly this cost.
-func (d *Disk) Sync(p *sim.Proc) {
+func (d *Disk) Sync(p *sim.Proc) error {
 	d.res.Acquire(p, 1)
 	d.idleGen++
+	if err := d.fault.Check(p.Now()); err != nil {
+		d.armSpinDown()
+		d.res.Release(1)
+		return err
+	}
 	d.setState(SpinActive, d.spec.ActiveWatts)
-	p.Sleep(d.spec.RotLatency)
-	chargeOwner(p, float64(d.spec.ActiveWatts-d.spec.IdleWatts)*d.spec.RotLatency)
+	service := d.fault.Stretch(p.Now(), d.spec.RotLatency)
+	p.Sleep(service)
+	chargeOwner(p, float64(d.spec.ActiveWatts-d.spec.IdleWatts)*service)
 	d.setState(SpinIdle, d.spec.IdleWatts)
 	d.armSpinDown()
 	d.res.Release(1)
+	return nil
 }
 
 // SpinDown forces the disk to standby immediately if it is idle.
@@ -240,6 +275,7 @@ type SSD struct {
 	res   *sim.Resource
 	trace *energy.Trace
 	stats DiskStats
+	fault *fault.DeviceFault
 }
 
 // NewSSD registers an SSD on the meter.
@@ -269,33 +305,49 @@ func (s *SSD) Spec() SSDSpec { return s.spec }
 // Stats returns a copy of the SSD's counters.
 func (s *SSD) Stats() DiskStats { return s.stats }
 
+// SetFault attaches a scripted fault schedule; nil clears it.
+func (s *SSD) SetFault(f *fault.DeviceFault) { s.fault = f }
+
+// Reset returns the SSD to a quiescent state after Engine.Crash.
+func (s *SSD) Reset() { s.res.Reset() }
+
 // Read performs a read of size bytes (offset is irrelevant to timing on
 // flash but kept for interface symmetry).
-func (s *SSD) Read(p *sim.Proc, offset, size int64) {
+func (s *SSD) Read(p *sim.Proc, offset, size int64) error {
 	if size <= 0 {
 		panic(fmt.Sprintf("hw: ssd %s read of %d bytes", s.spec.Name, size))
 	}
 	s.res.Acquire(p, 1)
-	service := s.spec.ReadLatency + float64(size)/s.spec.ReadBW
+	if err := s.fault.Check(p.Now()); err != nil {
+		s.res.Release(1)
+		return err
+	}
+	service := s.fault.Stretch(p.Now(), s.spec.ReadLatency+float64(size)/s.spec.ReadBW)
 	p.Sleep(service)
 	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*service)
 	s.stats.Reads++
 	s.stats.BytesRead += size
 	s.res.Release(1)
+	return nil
 }
 
 // Write performs a write of size bytes.
-func (s *SSD) Write(p *sim.Proc, offset, size int64) {
+func (s *SSD) Write(p *sim.Proc, offset, size int64) error {
 	if size <= 0 {
 		panic(fmt.Sprintf("hw: ssd %s write of %d bytes", s.spec.Name, size))
 	}
 	s.res.Acquire(p, 1)
-	service := s.spec.ReadLatency + float64(size)/s.spec.WriteBW
+	if err := s.fault.Check(p.Now()); err != nil {
+		s.res.Release(1)
+		return err
+	}
+	service := s.fault.Stretch(p.Now(), s.spec.ReadLatency+float64(size)/s.spec.WriteBW)
 	p.Sleep(service)
 	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*service)
 	s.stats.Writes++
 	s.stats.BytesWrite += size
 	s.res.Release(1)
+	return nil
 }
 
 // ReadServiceTime predicts a read's service time.
@@ -304,9 +356,15 @@ func (s *SSD) ReadServiceTime(size int64) float64 {
 }
 
 // Sync charges a flash write barrier (one request latency).
-func (s *SSD) Sync(p *sim.Proc) {
+func (s *SSD) Sync(p *sim.Proc) error {
 	s.res.Acquire(p, 1)
-	p.Sleep(s.spec.ReadLatency)
-	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*s.spec.ReadLatency)
+	if err := s.fault.Check(p.Now()); err != nil {
+		s.res.Release(1)
+		return err
+	}
+	service := s.fault.Stretch(p.Now(), s.spec.ReadLatency)
+	p.Sleep(service)
+	chargeOwner(p, float64(s.spec.ActiveWatts-s.spec.IdleWatts)*service)
 	s.res.Release(1)
+	return nil
 }

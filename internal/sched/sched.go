@@ -22,20 +22,25 @@ package sched
 import (
 	"fmt"
 
+	"energydb/internal/fault"
 	"energydb/internal/sim"
 )
 
 // Ticket is one submitted job's admission record.
 type Ticket struct {
-	ID      int64
-	Name    string
-	Want    int // cores requested (clamped to [1, TotalCores])
-	Granted int // cores granted at admission; 0 while held or queued
+	ID       int64
+	Name     string
+	Want     int     // cores requested (clamped to [1, TotalCores])
+	Granted  int     // cores granted at admission; 0 while held or queued
+	Deadline float64 // absolute engine time; 0 = none
 
 	run       func(p *sim.Proc, granted int)
+	fail      func(err error)
 	submitted float64
 	admitted  float64
 	finished  float64
+	canceled  bool
+	running   bool
 }
 
 // Wait reports the delay between submission and admission.
@@ -44,7 +49,9 @@ func (t *Ticket) Wait() float64 { return t.admitted - t.submitted }
 // Stats summarises the controller's history.
 type Stats struct {
 	Submitted    int64
-	Completed    int64
+	Completed    int64   // jobs that ran to completion (never canceled/expired ones)
+	Canceled     int64   // jobs dequeued by Cancel before ever running
+	Expired      int64   // jobs rejected because their deadline passed while queued
 	Batches      int64   // window releases (window > 0 only)
 	Waited       int64   // jobs admitted strictly later than submitted
 	TotalWait    float64 // time between submission and admission
@@ -113,20 +120,51 @@ func (a *Admission) FreeCores() int { return a.free }
 // Queued reports jobs released from the window but not yet admitted.
 func (a *Admission) Queued() int { return len(a.queue) }
 
+// Job describes a submission with the full lifecycle surface: an
+// optional absolute deadline and an optional failure callback invoked
+// (in event context) if the job is rejected before it ever runs —
+// because its deadline passed while it was queued or held.
+type Job struct {
+	Name     string
+	Want     int     // cores requested (clamped to [1, TotalCores])
+	Deadline float64 // absolute engine time; 0 = none
+	Run      func(p *sim.Proc, granted int)
+	Fail     func(err error)
+}
+
 // Submit offers a job wanting up to want cores. The job starts when the
 // window (if any) closes and a core is free; run receives its own
 // simulated process and the number of cores granted. Submit returns the
 // ticket, whose Granted field is filled at admission.
 func (a *Admission) Submit(name string, want int, run func(p *sim.Proc, granted int)) *Ticket {
+	return a.SubmitJob(Job{Name: name, Want: want, Run: run})
+}
+
+// SubmitJob is Submit with deadline and failure-callback support. A job
+// whose deadline passes while it is still queued or held never runs: it
+// leaves the queue, counts as Expired (not Completed), and its Fail
+// callback fires with fault.ErrDeadlineExceeded. Deadline enforcement
+// for *running* jobs belongs to the session layer, which owns the
+// query's cancel flag.
+func (a *Admission) SubmitJob(j Job) *Ticket {
 	a.nextID++
+	want := j.Want
 	if want < 1 {
 		want = 1
 	}
 	if want > a.TotalCores {
 		want = a.TotalCores
 	}
-	t := &Ticket{ID: a.nextID, Name: name, Want: want, run: run, submitted: a.eng.Now()}
+	t := &Ticket{ID: a.nextID, Name: j.Name, Want: want, Deadline: j.Deadline,
+		run: j.Run, fail: j.Fail, submitted: a.eng.Now()}
 	a.stats.Submitted++
+	if t.Deadline > 0 {
+		at := t.Deadline
+		if at < a.eng.Now() {
+			at = a.eng.Now()
+		}
+		a.eng.At(at, "sched-deadline", func() { a.expire(t) })
+	}
 	if a.Window > 0 {
 		a.holding = append(a.holding, t)
 		if !a.windowed {
@@ -141,6 +179,69 @@ func (a *Admission) Submit(name string, want int, run func(p *sim.Proc, granted 
 	}
 	a.armDispatch()
 	return t
+}
+
+// Cancel removes a ticket that has not started running from the queue
+// (or the window hold), reporting whether it was dequeued. A canceled
+// ticket never dispatches and is not counted as completed. Canceling a
+// running or finished ticket reports false and does nothing — running
+// work is stopped through the job's own cancellation path.
+func (a *Admission) Cancel(t *Ticket) bool {
+	if t.running || t.canceled {
+		return false
+	}
+	if !a.remove(t) {
+		return false
+	}
+	t.canceled = true
+	a.stats.Canceled++
+	return true
+}
+
+// expire rejects a ticket whose deadline passed while it was waiting.
+func (a *Admission) expire(t *Ticket) {
+	if t.running || t.canceled {
+		return
+	}
+	if !a.remove(t) {
+		return
+	}
+	t.canceled = true
+	a.stats.Expired++
+	if t.fail != nil {
+		t.fail(fmt.Errorf("sched: %s queued past its deadline (%.6f): %w",
+			t.Name, t.Deadline, fault.ErrDeadlineExceeded))
+	}
+}
+
+// remove deletes t from the queue or the window hold, reporting success.
+func (a *Admission) remove(t *Ticket) bool {
+	for i, q := range a.queue {
+		if q == t {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return true
+		}
+	}
+	for i, h := range a.holding {
+		if h == t {
+			a.holding = append(a.holding[:i], a.holding[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Reset forcibly returns the controller to an empty, all-cores-free
+// state after Engine.Crash has unwound every running job. Queued and
+// held tickets are dropped without callbacks — the crash path fails
+// their owners directly.
+func (a *Admission) Reset() {
+	a.free = a.TotalCores
+	a.active = 0
+	a.queue = nil
+	a.holding = nil
+	a.armed = false
+	a.windowed = false
 }
 
 // release moves the held window batch to the admission queue.
@@ -179,6 +280,18 @@ func (a *Admission) armDispatch() {
 func (a *Admission) dispatch() {
 	for len(a.queue) > 0 && a.free > 0 {
 		t := a.queue[0]
+		if t.Deadline > 0 && t.Deadline <= a.eng.Now() {
+			// Already past its deadline at dispatch time: reject rather
+			// than start work that can only be thrown away.
+			a.queue = a.queue[1:]
+			t.canceled = true
+			a.stats.Expired++
+			if t.fail != nil {
+				t.fail(fmt.Errorf("sched: %s queued past its deadline (%.6f): %w",
+					t.Name, t.Deadline, fault.ErrDeadlineExceeded))
+			}
+			continue
+		}
 		share := a.TotalCores / (a.active + len(a.queue))
 		if share < 1 {
 			share = 1
@@ -197,6 +310,7 @@ func (a *Admission) dispatch() {
 			a.stats.PeakActive = a.active
 		}
 		t.Granted = g
+		t.running = true
 		t.admitted = a.eng.Now()
 		if t.admitted > t.submitted {
 			a.stats.Waited++

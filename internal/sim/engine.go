@@ -62,6 +62,7 @@ type Engine struct {
 	now     float64
 	queue   eventHeap
 	seq     int64
+	procSeq int64
 	yield   chan struct{} // a running process signals here when it parks or ends
 	procs   map[*Proc]struct{}
 	live    int
@@ -167,12 +168,18 @@ func (e *Engine) blockedNames() []string {
 // the process's own goroutine.
 type Proc struct {
 	eng      *Engine
+	id       int64
 	name     string
 	resume   chan struct{}
 	panicked any
 	dead     bool
+	killed   bool
 	owner    any
 }
+
+// killSentinel is the panic value used to unwind a killed process. The
+// spawn wrapper swallows it; any other panic still propagates.
+type killSentinel struct{}
 
 // Go starts fn as a new simulated process at the current time.
 // fn begins executing when the engine next reaches the current instant in
@@ -183,7 +190,8 @@ type Proc struct {
 // workers, scan readers, per-device volume readers — charge the query's
 // account without every spawn site having to thread it through.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.procSeq++
+	p := &Proc{eng: e, id: e.procSeq, name: name, resume: make(chan struct{})}
 	if e.current != nil {
 		p.owner = e.current.owner
 	}
@@ -193,17 +201,44 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				p.panicked = r
+				if _, k := r.(killSentinel); !k {
+					p.panicked = r
+				}
 			}
 			p.dead = true
 			e.live--
 			delete(e.procs, p)
 			e.yield <- struct{}{}
 		}()
+		if p.killed {
+			return // killed before first scheduling: never run fn
+		}
 		fn(p)
 	}()
 	e.After(0, "start:"+name, func() { e.wake(p) })
 	return p
+}
+
+// Crash models a whole-engine failure at the current instant: every live
+// process is unwound (its goroutine exits without running further user
+// code) and every pending event is dropped. The clock is preserved.
+// Processes are killed in spawn order so the unwind — and anything it
+// observes — is deterministic. Must not be called from process context;
+// call it from an event callback or between Run/Step calls.
+func (e *Engine) Crash() {
+	if e.current != nil {
+		panic("sim: Crash called from process context")
+	}
+	victims := make([]*Proc, 0, len(e.procs))
+	for p := range e.procs {
+		victims = append(victims, p)
+	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, p := range victims {
+		p.killed = true
+		e.wake(p) // park (or the spawn wrapper) sees killed and unwinds
+	}
+	e.queue = nil
 }
 
 // wake transfers control to p and blocks the engine until p parks again or
@@ -222,11 +257,25 @@ func (e *Engine) wake(p *Proc) {
 	}
 }
 
-// park suspends the calling process until the engine wakes it.
+// park suspends the calling process until the engine wakes it. A killed
+// process never parks again: it unwinds via the kill sentinel, which the
+// spawn wrapper swallows (so cleanup defers run, then the goroutine
+// exits) while handing control back to the engine.
 func (p *Proc) park() {
+	if p.killed {
+		panic(killSentinel{})
+	}
 	p.eng.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
 }
+
+// Killed reports whether the process has been unwound by Engine.Crash.
+// Long-running cleanup defers can consult it to skip work that would
+// block.
+func (p *Proc) Killed() bool { return p.killed }
 
 // Name reports the process name given to Go.
 func (p *Proc) Name() string { return p.name }

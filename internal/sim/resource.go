@@ -84,6 +84,16 @@ func (r *Resource) Release(n int) {
 	r.dispatch()
 }
 
+// Reset forcibly returns all units and drops all waiters. It is only
+// meaningful after Engine.Crash has unwound every process that could
+// hold or wait on the resource; recovery uses it to bring devices back
+// to a quiescent state.
+func (r *Resource) Reset() {
+	r.inUse = 0
+	r.waiters = nil
+	r.notify()
+}
+
 // Use acquires n units, holds them for d seconds, and releases them.
 func (r *Resource) Use(p *Proc, n int, d float64) {
 	r.Acquire(p, n)

@@ -31,10 +31,11 @@ func NewPrefetcher(v *Volume, start, end int64, burstPages int) *Prefetcher {
 }
 
 // Next returns the next page number, fetching a new burst if the window is
-// exhausted. It reports false when the range is consumed.
-func (pf *Prefetcher) Next(p *sim.Proc) (int64, bool) {
+// exhausted. It reports false when the range is consumed, and surfaces
+// device errors from the burst read.
+func (pf *Prefetcher) Next(p *sim.Proc) (int64, bool, error) {
 	if pf.next >= pf.end {
-		return 0, false
+		return 0, false, nil
 	}
 	if pf.next >= pf.fetched {
 		hi := pf.fetched + int64(pf.BurstPages)
@@ -42,14 +43,16 @@ func (pf *Prefetcher) Next(p *sim.Proc) (int64, bool) {
 			hi = pf.end
 		}
 		for pg := pf.fetched; pg < hi; pg++ {
-			pf.Vol.ReadPage(p, pg)
+			if err := pf.Vol.ReadPage(p, pg); err != nil {
+				return 0, false, err
+			}
+			pf.fetched = pg + 1
 		}
-		pf.fetched = hi
 		pf.bursts++
 	}
 	pg := pf.next
 	pf.next++
-	return pg, true
+	return pg, true, nil
 }
 
 // Bursts reports how many device bursts have been issued.

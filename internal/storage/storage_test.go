@@ -227,7 +227,7 @@ func TestPrefetcherBurstsCreateIdleGaps(t *testing.T) {
 		pf := NewPrefetcher(v, 0, 200, burst)
 		e.Go("consumer", func(p *sim.Proc) {
 			for {
-				if _, ok := pf.Next(p); !ok {
+				if _, ok, _ := pf.Next(p); !ok {
 					return
 				}
 				p.Sleep(0.5) // slow consumer: 0.5s of downstream work per page
@@ -260,7 +260,7 @@ func TestPrefetcherDeliversAll(t *testing.T) {
 	var got []int64
 	e.Go("c", func(p *sim.Proc) {
 		for {
-			pg, ok := pf.Next(p)
+			pg, ok, _ := pf.Next(p)
 			if !ok {
 				break
 			}

@@ -17,10 +17,12 @@ import (
 )
 
 // BlockDevice is the device contract volumes build on; hw.Disk and hw.SSD
-// implement it.
+// implement it. Errors are typed against the internal/fault taxonomy
+// (ErrDeviceFailed, ErrTransientIO) and propagate unchanged through the
+// volume to the execution layer.
 type BlockDevice interface {
-	Read(p *sim.Proc, offset, size int64)
-	Write(p *sim.Proc, offset, size int64)
+	Read(p *sim.Proc, offset, size int64) error
+	Write(p *sim.Proc, offset, size int64) error
 }
 
 // Layout selects how pages map to devices.
@@ -117,6 +119,15 @@ func (v *Volume) SetHostLink(eng *sim.Engine, bw float64) {
 	v.hostLink = sim.NewResource(eng, v.name+":host", 1)
 }
 
+// Reset quiesces the volume's shared host link after Engine.Crash has
+// unwound every process that could be mid-transfer. The devices
+// themselves are reset individually by their owners.
+func (v *Volume) Reset() {
+	if v.hostLink != nil {
+		v.hostLink.Reset()
+	}
+}
+
 // hostTransfer charges the shared link for moving n bytes to the host.
 func (v *Volume) hostTransfer(p *sim.Proc, n int64) {
 	if v.hostLink == nil {
@@ -174,14 +185,17 @@ func (v *Volume) PageSpan(byteLo, byteHi int64) (pageLo, pageHi int64) {
 }
 
 // ReadPages reads an arbitrary set of pages with all devices working in
-// parallel (duplicates are read once). It returns when every page has
-// arrived.
-func (v *Volume) ReadPages(p *sim.Proc, pages []int64) {
+// parallel (duplicates are read once). It returns when every reader has
+// finished — on a device error the remaining readers stop at their next
+// run boundary, every reader still exits, and the first error (in device
+// order) is returned.
+func (v *Volume) ReadPages(p *sim.Proc, pages []int64) error {
 	if len(pages) == 0 {
-		return
+		return nil
 	}
 	eng := p.Engine()
-	done := sim.NewMailbox[int](eng, v.name+":rp")
+	done := sim.NewMailbox[error](eng, v.name+":rp")
+	stop := new(bool)
 	byDev := make([][]int64, len(v.devs))
 	seen := make(map[int64]struct{}, len(pages))
 	for _, pg := range pages {
@@ -193,6 +207,7 @@ func (v *Volume) ReadPages(p *sim.Proc, pages []int64) {
 		byDev[d] = append(byDev[d], pg)
 	}
 	launched := 0
+	errByDev := make([]error, len(v.devs))
 	for d, pgs := range byDev {
 		if len(pgs) == 0 {
 			continue
@@ -201,20 +216,34 @@ func (v *Volume) ReadPages(p *sim.Proc, pages []int64) {
 		d, runs := d, coalesce(v, pgs)
 		eng.Go(fmt.Sprintf("%s:rp%d", v.name, d), func(rp *sim.Proc) {
 			for _, r := range runs {
+				if *stop {
+					break
+				}
 				// One vectored read per contiguous run: the device seeks
 				// once and streams the whole run, exactly as a real
 				// scatter-gather scan request would.
-				v.devs[d].Read(rp, r.off, r.bytes)
+				if err := v.devs[d].Read(rp, r.off, r.bytes); err != nil {
+					errByDev[d] = err
+					break
+				}
 				v.hostTransfer(rp, r.bytes)
 				v.stats.PagesRead += r.bytes / v.pageSize
 				v.stats.BytesRead += r.bytes
 			}
-			done.Put(len(runs))
+			done.Put(errByDev[d])
 		})
 	}
 	for i := 0; i < launched; i++ {
-		done.Get(p)
+		if err := done.Get(p); err != nil {
+			*stop = true
+		}
 	}
+	for _, err := range errByDev {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 type devRun struct {
@@ -271,40 +300,62 @@ func (v *Volume) parityLoc(page int64) (dev int, off int64) {
 }
 
 // ReadPage charges the I/O time of reading one logical page.
-func (v *Volume) ReadPage(p *sim.Proc, page int64) {
+func (v *Volume) ReadPage(p *sim.Proc, page int64) error {
 	if page < 0 {
 		panic(fmt.Sprintf("storage: read of negative page %d", page))
 	}
 	dev, off := v.locate(page)
-	v.devs[dev].Read(p, off, v.pageSize)
+	if err := v.devs[dev].Read(p, off, v.pageSize); err != nil {
+		return err
+	}
 	v.hostTransfer(p, v.pageSize)
 	v.stats.PagesRead++
 	v.stats.BytesRead += v.pageSize
+	return nil
 }
 
 // WritePage charges the I/O time of writing one logical page. On RAID-5
 // this is the full read-modify-write: read old data, read old parity,
 // write data, write parity.
-func (v *Volume) WritePage(p *sim.Proc, page int64) {
+func (v *Volume) WritePage(p *sim.Proc, page int64) error {
 	if page < 0 {
 		panic(fmt.Sprintf("storage: write of negative page %d", page))
 	}
 	dev, off := v.locate(page)
 	if v.layout == RAID5 {
 		pdev, poff := v.parityLoc(page)
-		v.devs[dev].Read(p, off, v.pageSize)
-		v.devs[pdev].Read(p, poff, v.pageSize)
-		v.devs[dev].Write(p, off, v.pageSize)
-		v.devs[pdev].Write(p, poff, v.pageSize)
+		if err := v.devs[dev].Read(p, off, v.pageSize); err != nil {
+			return err
+		}
+		if err := v.devs[pdev].Read(p, poff, v.pageSize); err != nil {
+			return err
+		}
+		if err := v.devs[dev].Write(p, off, v.pageSize); err != nil {
+			return err
+		}
+		if err := v.devs[pdev].Write(p, poff, v.pageSize); err != nil {
+			return err
+		}
 		v.stats.BytesRead += 2 * v.pageSize
 		v.stats.BytesWritten += 2 * v.pageSize
 		v.stats.PagesRead += 2
 		v.stats.PagesWritten += 2
-		return
+		return nil
 	}
-	v.devs[dev].Write(p, off, v.pageSize)
+	if err := v.devs[dev].Write(p, off, v.pageSize); err != nil {
+		return err
+	}
 	v.stats.PagesWritten++
 	v.stats.BytesWritten += v.pageSize
+	return nil
+}
+
+// scanMsg is one delivery from a Scan reader to the consumer: a page, a
+// device error, or an exit marker (the reader has terminated).
+type scanMsg struct {
+	page int64
+	err  error
+	exit bool
 }
 
 // Scan reads logical pages [start, end) using every device concurrently
@@ -315,16 +366,22 @@ func (v *Volume) WritePage(p *sim.Proc, page int64) {
 //
 // Pages are delivered in completion order, not logical order; callers that
 // need ordering must make pages self-describing (the table layer does).
-func (v *Volume) Scan(p *sim.Proc, start, end int64, window int, consume func(page int64)) {
+//
+// On a device error the scan stops: remaining readers unwind at their
+// next window acquisition, Scan blocks until every reader has exited
+// (so no simulated process outlives the call), and the first error
+// delivered is returned. consume is never invoked after an error.
+func (v *Volume) Scan(p *sim.Proc, start, end int64, window int, consume func(page int64)) error {
 	if start >= end {
-		return
+		return nil
 	}
 	if window <= 0 {
 		window = 2 * len(v.devs)
 	}
 	eng := p.Engine()
 	tokens := sim.NewResource(eng, v.name+":scanwin", window)
-	done := sim.NewMailbox[int64](eng, v.name+":scan")
+	done := sim.NewMailbox[scanMsg](eng, v.name+":scan")
+	stop := new(bool)
 
 	// Partition pages by owning device so each reader's accesses are
 	// sequential on its device.
@@ -346,14 +403,17 @@ func (v *Volume) Scan(p *sim.Proc, start, end int64, window int, consume func(pa
 	if maxRun > window {
 		maxRun = window
 	}
+	launched := 0
 	for d, pages := range byDev {
 		if len(pages) == 0 {
 			continue
 		}
+		launched++
 		d, pages := d, pages
 		eng.Go(fmt.Sprintf("%s:reader%d", v.name, d), func(rp *sim.Proc) {
+			defer done.Put(scanMsg{exit: true})
 			i := 0
-			for i < len(pages) {
+			for i < len(pages) && !*stop {
 				// Extend the run while pages stay contiguous on device.
 				j := i + 1
 				_, off := v.locate(pages[i])
@@ -366,38 +426,67 @@ func (v *Volume) Scan(p *sim.Proc, start, end int64, window int, consume func(pa
 				}
 				n := j - i
 				tokens.Acquire(rp, n)
-				v.devs[d].Read(rp, off, int64(n)*v.pageSize)
+				if *stop {
+					tokens.Release(n)
+					return
+				}
+				if err := v.devs[d].Read(rp, off, int64(n)*v.pageSize); err != nil {
+					tokens.Release(n)
+					done.Put(scanMsg{err: err})
+					return
+				}
 				v.hostTransfer(rp, int64(n)*v.pageSize)
 				v.stats.PagesRead += int64(n)
 				v.stats.BytesRead += int64(n) * v.pageSize
 				for ; i < j; i++ {
-					done.Put(pages[i])
+					done.Put(scanMsg{page: pages[i]})
 				}
 			}
 		})
 	}
-	for i := start; i < end; i++ {
-		pg := done.Get(p)
-		consume(pg)
-		tokens.Release(1)
+	// Drive the scan until every reader has exited. Window tokens held by
+	// undelivered pages are released even after an error so that readers
+	// parked on the window can wake, observe stop, and unwind.
+	var firstErr error
+	for exits := 0; exits < launched; {
+		m := done.Get(p)
+		switch {
+		case m.exit:
+			exits++
+		case m.err != nil:
+			if firstErr == nil {
+				firstErr = m.err
+			}
+			*stop = true
+		default:
+			if firstErr == nil {
+				consume(m.page)
+			}
+			tokens.Release(1)
+		}
 	}
+	return firstErr
 }
 
 // ReadRange reads pages [start, end) with all devices working in parallel
-// and returns when every page has arrived. It is Scan without a consumer:
-// the caller blocks for max-over-devices time instead of sum.
-func (v *Volume) ReadRange(p *sim.Proc, start, end int64) {
+// and returns when every reader has finished. It is Scan without a
+// consumer: the caller blocks for max-over-devices time instead of sum.
+// On a device error the remaining readers stop at their next page and the
+// first error (in device order) is returned.
+func (v *Volume) ReadRange(p *sim.Proc, start, end int64) error {
 	if start >= end {
-		return
+		return nil
 	}
 	eng := p.Engine()
-	done := sim.NewMailbox[int64](eng, v.name+":rr")
+	done := sim.NewMailbox[error](eng, v.name+":rr")
+	stop := new(bool)
 	byDev := make([][]int64, len(v.devs))
 	for pg := start; pg < end; pg++ {
 		d, _ := v.locate(pg)
 		byDev[d] = append(byDev[d], pg)
 	}
 	launched := 0
+	errByDev := make([]error, len(v.devs))
 	for d, pages := range byDev {
 		if len(pages) == 0 {
 			continue
@@ -406,16 +495,30 @@ func (v *Volume) ReadRange(p *sim.Proc, start, end int64) {
 		d, pages := d, pages
 		eng.Go(fmt.Sprintf("%s:rr%d", v.name, d), func(rp *sim.Proc) {
 			for _, pg := range pages {
+				if *stop {
+					break
+				}
 				_, off := v.locate(pg)
-				v.devs[d].Read(rp, off, v.pageSize)
+				if err := v.devs[d].Read(rp, off, v.pageSize); err != nil {
+					errByDev[d] = err
+					break
+				}
 				v.hostTransfer(rp, v.pageSize)
 				v.stats.PagesRead++
 				v.stats.BytesRead += v.pageSize
 			}
-			done.Put(int64(len(pages)))
+			done.Put(errByDev[d])
 		})
 	}
 	for i := 0; i < launched; i++ {
-		done.Get(p)
+		if err := done.Get(p); err != nil {
+			*stop = true
+		}
 	}
+	for _, err := range errByDev {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

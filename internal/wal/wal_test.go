@@ -23,7 +23,7 @@ func TestSingleCommitDurable(t *testing.T) {
 	l := NewLog(eng, d, 1, 0)
 	var lsn int64
 	eng.Go("txn", func(p *sim.Proc) {
-		lsn = l.Commit(p, 512)
+		lsn, _ = l.Commit(p, 512)
 	})
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
@@ -165,7 +165,7 @@ func TestLogInvariants(t *testing.T) {
 			delay := rng.Float64() * 0.01
 			eng.Go(fmt.Sprintf("txn%d", i), func(p *sim.Proc) {
 				p.Sleep(delay)
-				lsns[i] = l.Commit(p, sz)
+				lsns[i], _ = l.Commit(p, sz)
 			})
 		}
 		if err := eng.Run(); err != nil {
