@@ -46,6 +46,27 @@ func BenchmarkConcurrentStreams(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyComparison runs the workload-energy-manager scenario:
+// the mixed deadline + background workload under FIFO, EDF, EDF+DVFS,
+// and the consolidating energy policy, reporting each configuration's
+// SLO compliance and attributed whole-server joules.
+func BenchmarkPolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := bench.RunPolicies(bench.PoliciesConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range r.Points {
+			b.ReportMetric(p.Seconds*1000, p.Name+"_sim_ms")
+			b.ReportMetric(p.MeterJ, p.Name+"_J")
+			b.ReportMetric(p.SLO(), p.Name+"_slo")
+		}
+		if i == 0 {
+			b.Log("\n" + r.Render())
+		}
+	}
+}
+
 // BenchmarkFigure2 reproduces the compressed-vs-raw scan (Figure 2).
 func BenchmarkFigure2(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: f1, f2, streams, joinflip, consolidate, buffer, wal, cluster, ep, all")
+	exp := flag.String("exp", "all", "experiment to run: f1, f2, streams, policies, joinflip, consolidate, buffer, wal, cluster, ep, all")
 	sf := flag.Float64("sf", 0, "TPC-H scale factor override (f1/f2)")
 	flag.Parse()
 
@@ -35,6 +35,9 @@ func main() {
 	})
 	run("streams", func() (interface{ Render() string }, error) {
 		return bench.RunStreams(bench.StreamsConfig{SF: *sf})
+	})
+	run("policies", func() (interface{ Render() string }, error) {
+		return bench.RunPolicies(bench.PoliciesConfig{})
 	})
 	run("joinflip", func() (interface{ Render() string }, error) { return bench.RunJoinFlip() })
 	run("consolidate", func() (interface{ Render() string }, error) { return bench.RunConsolidation() })

@@ -166,7 +166,7 @@ func runThroughputPoint(gen *tpch.DB, disks, streams, rounds int) (Figure1Point,
 		AvgPowerW:   joules / elapsed,
 		Queries:     int64(len(all)),
 		AttributedJ: attributed,
-		MeanWaitSec: db.Adm.Stats().MeanWait(),
+		MeanWaitSec: db.SchedStats().MeanWait(),
 	}, nil
 }
 

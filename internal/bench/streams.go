@@ -138,7 +138,7 @@ func RunStreams(cfg StreamsConfig) (*StreamsResult, error) {
 		Streams:   make([]StreamStat, cfg.Streams),
 		Seconds:   db.Srv.Eng.Now(),
 		MeterJ:    float64(db.Srv.Meter.TotalEnergy(energy.Seconds(db.Srv.Eng.Now()))),
-		Admission: db.Adm.Stats(),
+		Admission: db.SchedStats(),
 	}
 	for s := range res.Streams {
 		res.Streams[s].Stream = s

@@ -48,6 +48,36 @@ type Config struct {
 	// classical DBMS; switch to MinEnergy for the paper's proposal).
 	Objective opt.Objective
 
+	// EnergyMode selects how the energy objectives price joules:
+	// opt.MarginalEnergy (default, busy-minus-idle only) or
+	// opt.IdleFloorAware (plus IdleWatts × Seconds, so MinEnergy agrees
+	// with the wall meter).
+	EnergyMode opt.EnergyMode
+
+	// SchedPolicy selects the admission policy: "fifo" (default,
+	// arrival order with fair-share grants), "edf" (earliest deadline
+	// first), or "energy" (EDF for deadline work, consolidated wide
+	// grants for background work).
+	SchedPolicy string
+
+	// HoldCores is the energy policy's DVFS headroom: cores held back
+	// from background grants so arriving deadline work finds a free core.
+	// Only meaningful with SchedPolicy "energy".
+	HoldCores int
+
+	// DVFS exposes the CPU's P-states to the planner (the optimizer
+	// prices wide-and-slow at a low P-state against narrow-and-fast at
+	// P0) and actuates the chosen operating point while the query runs:
+	// a per-query vote governor keeps the CPU at the fastest P-state any
+	// running query planned for.
+	DVFS bool
+
+	// ReGrant lets a running query widen when a completion frees cores
+	// and nothing is queued: the query replans at the wider grant and
+	// restarts its pipeline from the last restart point (results are
+	// unaffected; work done so far stays on its energy account).
+	ReGrant bool
+
 	// DRAMWattPerByte overrides the energy model's memory holding power;
 	// 0 keeps the datasheet-derived value.
 	DRAMWattPerByte float64
@@ -105,6 +135,7 @@ type DB struct {
 	epochs      map[string]int64 // placement epoch per table, bumped by place()
 	durableRows map[string]int64 // rows covered by the last placement (the checkpoint)
 	inflight    map[int64]*Rows  // submitted-or-pending statements not yet finished
+	pvotes      map[int64]int    // per-query P-state votes (DVFS governor)
 	fileSeq     int32
 	queries     int64
 	crashes     int64
@@ -168,11 +199,25 @@ func Open(cfg Config) (*DB, error) {
 	pool.PageBytes = cfg.PageBytes
 	pool.DRAM = srv.DRAM
 
+	var schedPol sched.Policy
+	switch cfg.SchedPolicy {
+	case "", "fifo":
+		schedPol = sched.FIFO{}
+	case "edf":
+		schedPol = sched.EDF{}
+	case "energy":
+		schedPol = sched.EnergyAware{HoldFree: cfg.HoldCores}
+	default:
+		return nil, fmt.Errorf("core: unknown sched policy %q", cfg.SchedPolicy)
+	}
+	adm := sched.NewAdmissionPolicy(srv.Eng, srv.CPU.Cores(), 0, schedPol)
+	adm.ReGrant = cfg.ReGrant
+
 	db := &DB{
 		Srv: srv, Vol: vol, Pool: pool,
 		Catalog:     opt.NewCatalog(),
 		Objective:   cfg.Objective,
-		Adm:         sched.NewAdmission(srv.Eng, srv.CPU.Cores(), 0),
+		Adm:         adm,
 		Attr:        energy.NewAttributor(srv.Meter),
 		cfg:         cfg,
 		schemas:     map[string]*table.Schema{},
@@ -181,6 +226,7 @@ func Open(cfg Config) (*DB, error) {
 		epochs:      map[string]int64{},
 		durableRows: map[string]int64{},
 		inflight:    map[int64]*Rows{},
+		pvotes:      map[int64]int{},
 	}
 	if cfg.RetryMax > 0 && cfg.RetryBackoff == 0 {
 		db.cfg.RetryBackoff = 0.002
@@ -228,7 +274,48 @@ func (db *DB) buildEnv() *opt.Env {
 	if db.cfg.DRAMWattPerByte > 0 {
 		env.DRAMWattPerByte = db.cfg.DRAMWattPerByte
 	}
+	env.EnergyMode = db.cfg.EnergyMode
+	env.IdleWatts = float64(db.Srv.IdlePower())
+	if db.cfg.DVFS {
+		for _, ps := range db.Srv.CPU.Spec().PStates {
+			env.PStates = append(env.PStates, opt.PStatePoint{
+				Name: ps.Name, FreqScale: ps.FreqScale, PowerScale: ps.PowerScale})
+		}
+	}
 	return env
+}
+
+// SchedStats returns a copy of the admission controller's counters
+// (mean wait, expirations, peak queue depth, re-grants, ...), so benches
+// and harnesses need not reach into scheduler internals.
+func (db *DB) SchedStats() sched.Stats { return db.Adm.Stats() }
+
+// votePState records a running query's planned CPU operating point and
+// applies the governor: the CPU runs at the *fastest* (lowest-index)
+// P-state any running query planned for, so a deadline query at P0 is
+// never slowed by a background query's wide-and-slow plan — the
+// background query just finishes a little earlier than priced.
+func (db *DB) votePState(qid int64, ps int) {
+	db.pvotes[qid] = ps
+	db.applyPState()
+}
+
+// dropPState removes a finished query's vote; with no votes the CPU
+// returns to P0.
+func (db *DB) dropPState(qid int64) {
+	delete(db.pvotes, qid)
+	db.applyPState()
+}
+
+func (db *DB) applyPState() {
+	best := 0
+	first := true
+	for _, ps := range db.pvotes {
+		if first || ps < best {
+			best, first = ps, false
+		}
+	}
+	db.Srv.CPU.SetPState(best)
 }
 
 // CreateTable registers an empty in-memory table.

@@ -67,6 +67,9 @@ func (db *DB) crash(tornFrac float64) {
 	db.Vol.Reset()
 	db.Pool.Reset()
 	db.Adm.Reset()
+	// Dead queries can no longer vote for a P-state; back to nominal.
+	db.pvotes = map[int64]int{}
+	db.applyPState()
 
 	// Rebuild every table from its placement checkpoint plus the log.
 	db.recoverTables(img)

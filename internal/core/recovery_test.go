@@ -201,7 +201,7 @@ func TestQueuedCloseNotServed(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	st := db.Adm.Stats()
+	st := db.SchedStats()
 	if st.Submitted != 2 || st.Completed != 1 || st.Canceled != 1 {
 		t.Fatalf("stats = %+v, want submitted 2 / completed 1 / canceled 1", st)
 	}
@@ -252,7 +252,7 @@ func TestQueuedDeadlineExpiry(t *testing.T) {
 	if res9 == nil || res9.Granted != 0 || res9.RowCount != 0 || res9.Attributed != 0 {
 		t.Fatalf("expired query was served or billed: %+v", res9)
 	}
-	if st := db.Adm.Stats(); st.Expired != 1 || st.Completed != int64(len(running)) {
+	if st := db.SchedStats(); st.Expired != 1 || st.Completed != int64(len(running)) {
 		t.Fatalf("stats = %+v", st)
 	}
 	for i, r := range running {

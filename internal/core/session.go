@@ -170,7 +170,12 @@ func (st *Stmt) queryAt(at, deadline float64) (*Rows, error) {
 // flag: the first statement to re-place a table consumes the flag, but
 // every other prepared statement on that table must also drop plans
 // built against the old placement.
-func (st *Stmt) planFor(granted int) (*opt.Plan, error) {
+//
+// budget, when positive, is the seconds remaining until the query's
+// deadline; it constrains plan choice (opt.Env.TimeBudget) and bypasses
+// the plan cache — the budget differs per execution, so a budgeted plan
+// is never reusable.
+func (st *Stmt) planFor(granted int, budget float64) (*opt.Plan, error) {
 	db := st.sess.db
 	stale := false
 	for _, a := range st.query.Tables {
@@ -188,14 +193,20 @@ func (st *Stmt) planFor(granted int) (*opt.Plan, error) {
 	if stale {
 		st.plans = map[int]*opt.Plan{}
 	}
-	if p, ok := st.plans[granted]; ok {
-		return p, nil
+	if budget <= 0 {
+		if p, ok := st.plans[granted]; ok {
+			return p, nil
+		}
 	}
-	p, err := opt.Optimize(st.query, db.Catalog, db.Env.Grant(granted), db.Objective)
+	env := db.Env.Grant(granted)
+	env.TimeBudget = budget
+	p, err := opt.Optimize(st.query, db.Catalog, env, db.Objective)
 	if err != nil {
 		return nil, err
 	}
-	st.plans[granted] = p
+	if budget <= 0 {
+		st.plans[granted] = p
+	}
 	return p, nil
 }
 
@@ -227,6 +238,8 @@ type Rows struct {
 
 	err      error
 	plan     *opt.Plan
+	nextPlan *opt.Plan // wider plan accepted through a re-grant offer
+	restart  bool      // restart the pipeline on nextPlan at the next batch boundary
 	schema   *table.Schema
 	acct     *energy.Account
 	batches  []*table.Batch
@@ -405,6 +418,7 @@ func (db *DB) doSubmit(r *Rows) {
 		Name:     fmt.Sprintf("query%d", r.id),
 		Want:     db.Env.Cores,
 		Deadline: r.deadline,
+		Tag:      r.stmt.text, // consolidating policies batch same-statement work
 		Run:      func(p *sim.Proc, granted int) { db.runQuery(p, r, granted) },
 		Fail:     func(err error) { db.failRows(r, err) },
 	})
@@ -434,7 +448,11 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 	r.granted = granted
 	r.startT = p.Now()
 	if !r.cancel {
-		plan, err := r.stmt.planFor(granted)
+		budget := 0.0
+		if r.deadline > 0 {
+			budget = r.deadline - p.Now()
+		}
+		plan, err := r.stmt.planFor(granted, budget)
 		if err != nil {
 			r.err = err
 		} else {
@@ -444,6 +462,12 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 			// serialize later arrivals behind idle cores. Result.Granted
 			// keeps the admission grant the plan was priced against.
 			db.Adm.Shrink(r.ticket, plan.MaxDOP())
+			if db.cfg.DVFS {
+				db.votePState(r.id, plan.PState)
+			}
+			if db.cfg.ReGrant {
+				db.Adm.SetWiden(r.ticket, func(free int) int { return db.widenOffer(r, free) })
+			}
 			if r.deadline > 0 {
 				// The admission-side timer cannot touch a running job;
 				// this one can. At the deadline the query's cancel flag
@@ -462,6 +486,19 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 			backoff := db.cfg.RetryBackoff
 			for attempt := 0; ; attempt++ {
 				r.err = db.executeRows(p, r, plan)
+				if r.err == errRestartPlan {
+					// A re-grant widened the query: drop the (empty) partial
+					// state and re-execute on the wider plan, same account —
+					// the narrow attempt's joules stay billed to this query.
+					plan = r.nextPlan
+					r.plan, r.nextPlan = plan, nil
+					if db.cfg.DVFS {
+						db.votePState(r.id, plan.PState)
+					}
+					r.batches, r.pos, r.cur, r.rowCount = nil, 0, nil, 0
+					r.err = nil
+					continue
+				}
 				if r.err == nil || r.cancel ||
 					!fault.IsTransient(r.err) || attempt >= db.cfg.RetryMax {
 					break
@@ -477,6 +514,12 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 			}
 			p.SetOwner(nil)
 			db.Attr.End(acct, energy.Seconds(p.Now()))
+			if db.cfg.DVFS {
+				db.dropPState(r.id)
+			}
+			if db.cfg.ReGrant {
+				db.Adm.SetWiden(r.ticket, nil)
+			}
 		}
 	}
 	if r.expired && r.err == nil {
@@ -492,8 +535,15 @@ func (db *DB) runQuery(p *sim.Proc, r *Rows, granted int) {
 	r.finish(p.Now())
 }
 
+// errRestartPlan is the executeRows sentinel for a re-grant pipeline
+// restart: the query accepted a wider grant and must re-execute on
+// r.nextPlan. It never escapes runQuery.
+var errRestartPlan = errors.New("core: pipeline restarting on a wider grant")
+
 // executeRows drives the operator tree, buffering (or discarding) each
-// produced batch; r.cancel stops it at the next batch boundary.
+// produced batch; r.cancel stops it at the next batch boundary, and
+// r.restart (a re-grant widening) tears the pipeline down there and asks
+// runQuery to re-execute on the wider plan.
 func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
 	ctx := db.NewCtx(p)
 	op, err := plan.Build(ctx)
@@ -505,6 +555,11 @@ func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
 		return err
 	}
 	for !r.cancel {
+		if r.restart {
+			r.restart = false
+			_ = op.Close(ctx)
+			return errRestartPlan
+		}
 		b, err := op.Next(ctx)
 		if err != nil {
 			_ = op.Close(ctx)
@@ -522,6 +577,44 @@ func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
 		}
 	}
 	return op.Close(ctx)
+}
+
+// widenOffer is the re-grant callback: a completion left free cores with
+// nothing queued, and the admission controller offers them to this
+// running query. The query accepts if a plan at the wider grant would
+// actually fan out wider and it has not emitted any rows yet — the
+// pipeline restart point is "before the first batch", which keeps the
+// result bit-identical to the narrow run (deterministic plans at every
+// DOP) at the cost of redoing the narrow work already billed to this
+// query's account. It returns the cores accepted; the controller moves
+// them onto the ticket's grant.
+func (db *DB) widenOffer(r *Rows, free int) int {
+	if r.done || r.cancel || r.restart || r.err != nil || r.rowCount > 0 || free <= 0 {
+		return 0
+	}
+	// Replanning re-places dirty tables; declining is safer than placing
+	// from event context mid-run (and a dirty table would invalidate the
+	// running plan anyway).
+	for _, a := range r.stmt.query.Tables {
+		if db.dirty[r.stmt.query.Rels[a]] {
+			return 0
+		}
+	}
+	cur := r.ticket.Granted
+	budget := 0.0
+	if r.deadline > 0 {
+		budget = r.deadline - db.Srv.Eng.Now()
+		if budget <= 0 {
+			return 0
+		}
+	}
+	wide, err := r.stmt.planFor(cur+free, budget)
+	if err != nil || wide.MaxDOP() <= cur {
+		return 0
+	}
+	r.nextPlan = wide
+	r.restart = true
+	return wide.MaxDOP() - cur
 }
 
 // finish settles the query's Result and releases chained statements.

@@ -103,7 +103,7 @@ func TestAdmissionQueuesBeyondCores(t *testing.T) {
 	if waited != streams-cores {
 		t.Fatalf("%d queries queued, want %d", waited, streams-cores)
 	}
-	st := db.Adm.Stats()
+	st := db.SchedStats()
 	if st.PeakActive > cores {
 		t.Fatalf("admission oversubscribed: %d active on %d cores", st.PeakActive, cores)
 	}
@@ -399,7 +399,7 @@ func TestSessionSerializesStatements(t *testing.T) {
 	if err := db.Drain(); err != nil {
 		t.Fatal(err)
 	}
-	if got := db.Adm.Stats().PeakActive; got != 1 {
+	if got := db.SchedStats().PeakActive; got != 1 {
 		t.Fatalf("one session ran %d statements concurrently", got)
 	}
 	prevEnd := 0.0
@@ -492,7 +492,7 @@ func TestSerialPlansReleaseGrant(t *testing.T) {
 			t.Fatalf("MinEnergy plan went parallel (dop=%d)", d)
 		}
 	}
-	if got := db.Adm.Stats().PeakActive; got != n {
+	if got := db.SchedStats().PeakActive; got != n {
 		t.Fatalf("peak active = %d, want %d (serial plans should release their grants)", got, n)
 	}
 }

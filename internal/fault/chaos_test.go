@@ -42,17 +42,22 @@ const (
 
 // chaosDB opens the chaos rig and returns it with the joules attributed
 // to the warm-up placement queries — the attribution invariant sums over
-// every account ever opened, warm-up included.
-func chaosDB(t *testing.T) (*core.DB, float64) {
+// every account ever opened, warm-up included. policy selects the
+// admission policy ("" = FIFO); regrant additionally lets completions
+// re-offer freed cores to running queries, stressing the pipeline
+// restart path under faults.
+func chaosDB(t *testing.T, policy string, regrant bool) (*core.DB, float64) {
 	t.Helper()
 	db, err := core.Open(core.Config{
-		Server:    hw.SmallServer(4),
-		Objective: opt.MinTime,
-		PageBytes: 16 << 10,
-		BlockRows: 4096,
-		PoolPages: 16, // small pool: scans keep hitting the faultable disks
-		WALBatch:  1,
-		RetryMax:  2,
+		Server:      hw.SmallServer(4),
+		Objective:   opt.MinTime,
+		PageBytes:   16 << 10,
+		BlockRows:   4096,
+		PoolPages:   16, // small pool: scans keep hitting the faultable disks
+		WALBatch:    1,
+		RetryMax:    2,
+		SchedPolicy: policy,
+		ReGrant:     regrant,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -88,7 +93,7 @@ func chaosDB(t *testing.T) (*core.DB, float64) {
 // crash instant for the seeded runs.
 func chaosReference(t *testing.T) (rows map[string]int64, elapsed map[string]float64) {
 	t.Helper()
-	db, _ := chaosDB(t)
+	db, _ := chaosDB(t, "", false)
 	rows = make(map[string]int64)
 	elapsed = make(map[string]float64)
 	for _, q := range tpch.ThroughputMix() {
@@ -114,11 +119,11 @@ type chaosQuery struct {
 
 // runChaos executes one seeded chaos run and returns its fingerprint.
 // All randomness flows through the injector, so the run is a pure
-// function of (seed, crash) and the fingerprint must be bit-identical
-// across repeats.
-func runChaos(t *testing.T, seed int64, crash bool, refRows map[string]int64, refElapsed map[string]float64) string {
+// function of (seed, crash, policy) and the fingerprint must be
+// bit-identical across repeats.
+func runChaos(t *testing.T, seed int64, crash bool, policy string, regrant bool, refRows map[string]int64, refElapsed map[string]float64) string {
 	t.Helper()
-	db, warm := chaosDB(t)
+	db, warm := chaosDB(t, policy, regrant)
 	inj := fault.NewInjector(seed)
 	rng := inj.Rand()
 
@@ -286,8 +291,8 @@ func runChaos(t *testing.T, seed int64, crash bool, refRows map[string]int64, re
 // must be bit-identical.
 func TestChaosWorkload(t *testing.T) {
 	refRows, refElapsed := chaosReference(t)
-	fp1 := runChaos(t, *chaosSeed, false, refRows, refElapsed)
-	fp2 := runChaos(t, *chaosSeed, false, refRows, refElapsed)
+	fp1 := runChaos(t, *chaosSeed, false, "", false, refRows, refElapsed)
+	fp2 := runChaos(t, *chaosSeed, false, "", false, refRows, refElapsed)
 	if fp1 != fp2 {
 		t.Fatalf("same seed diverged:\n--- run 1\n%s--- run 2\n%s", fp1, fp2)
 	}
@@ -302,12 +307,28 @@ func TestChaosWorkload(t *testing.T) {
 // reproduces the reference answers, and the run stays deterministic.
 func TestChaosCrashRecovery(t *testing.T) {
 	refRows, refElapsed := chaosReference(t)
-	fp1 := runChaos(t, *chaosSeed, true, refRows, refElapsed)
-	fp2 := runChaos(t, *chaosSeed, true, refRows, refElapsed)
+	fp1 := runChaos(t, *chaosSeed, true, "", false, refRows, refElapsed)
+	fp2 := runChaos(t, *chaosSeed, true, "", false, refRows, refElapsed)
 	if fp1 != fp2 {
 		t.Fatalf("same seed diverged:\n--- run 1\n%s--- run 2\n%s", fp1, fp2)
 	}
 	if testing.Verbose() {
 		t.Logf("seed %d crash fingerprint:\n%s", *chaosSeed, fp1)
+	}
+}
+
+// TestChaosWorkloadEDF: the same seeded chaos mix under the EDF policy
+// with re-granting enabled — queue-jumping dispatch and mid-run pipeline
+// restarts must preserve every lifecycle invariant (typed outcomes, zero
+// leaked grants, exact attribution) and stay deterministic.
+func TestChaosWorkloadEDF(t *testing.T) {
+	refRows, refElapsed := chaosReference(t)
+	fp1 := runChaos(t, *chaosSeed, false, "edf", true, refRows, refElapsed)
+	fp2 := runChaos(t, *chaosSeed, false, "edf", true, refRows, refElapsed)
+	if fp1 != fp2 {
+		t.Fatalf("same seed diverged:\n--- run 1\n%s--- run 2\n%s", fp1, fp2)
+	}
+	if testing.Verbose() {
+		t.Logf("seed %d EDF fingerprint:\n%s", *chaosSeed, fp1)
 	}
 }

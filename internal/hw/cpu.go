@@ -99,15 +99,25 @@ func (c *CPU) FreqHz() float64 {
 	return c.spec.FreqHz * c.spec.PStates[c.pstate].FreqScale
 }
 
-// SetPState selects DVFS operating point i (0 is fastest). Work in flight
-// keeps its original duration; new work sees the new frequency. This
-// mirrors real governors, which take effect at scheduling boundaries.
-func (c *CPU) SetPState(i int) {
-	if i < 0 || i >= len(c.spec.PStates) {
-		panic(fmt.Sprintf("hw: CPU %s has no P-state %d", c.spec.Name, i))
+// SetPState selects DVFS operating point i (0 is fastest), clamping an
+// out-of-range index to the nearest valid point, and returns the index
+// actually applied — so a governor asking for a deeper state than the
+// part supports lands on the deepest one instead of panicking mid-run.
+// Work in flight keeps its original duration; new work sees the new
+// frequency. This mirrors real governors, which take effect at
+// scheduling boundaries.
+func (c *CPU) SetPState(i int) int {
+	if i < 0 {
+		i = 0
 	}
-	c.pstate = i
-	c.trace.Set(energy.Seconds(c.eng.Now()), c.powerAt(c.busyCores))
+	if i >= len(c.spec.PStates) {
+		i = len(c.spec.PStates) - 1
+	}
+	if i != c.pstate {
+		c.pstate = i
+		c.trace.Set(energy.Seconds(c.eng.Now()), c.powerAt(c.busyCores))
+	}
+	return i
 }
 
 // PState reports the current P-state index.

@@ -97,13 +97,18 @@ func TestCPUDVFS(t *testing.T) {
 
 func TestCPUInvalidPState(t *testing.T) {
 	e, m := newRig(t)
-	cpu := NewCPU(e, m, "cpu", ScanCPU2008())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on bad P-state")
-		}
-	}()
-	cpu.SetPState(99)
+	spec := ScanCPU2008() // three P-states
+	cpu := NewCPU(e, m, "cpu", spec)
+	deepest := len(spec.PStates) - 1
+	if got := cpu.SetPState(99); got != deepest || cpu.PState() != deepest {
+		t.Fatalf("SetPState(99) = %d (pstate %d), want clamp to %d", got, cpu.PState(), deepest)
+	}
+	if got := cpu.SetPState(-5); got != 0 || cpu.PState() != 0 {
+		t.Fatalf("SetPState(-5) = %d (pstate %d), want clamp to 0", got, cpu.PState())
+	}
+	if got := cpu.SetPState(1); got != 1 || cpu.PState() != 1 {
+		t.Fatalf("SetPState(1) = %d (pstate %d), want 1 applied as-is", got, cpu.PState())
+	}
 }
 
 func TestDiskSequentialVsRandom(t *testing.T) {

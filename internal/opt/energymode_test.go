@@ -1,0 +1,182 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"energydb/internal/exec"
+	"energydb/internal/table"
+)
+
+// scanQueryIR is the CPU-bound projection TestParallelScanDOPChoice uses.
+func scanQueryIR() *Query {
+	return &Query{
+		Tables: []string{"f"},
+		Rels:   map[string]string{"f": "fact"},
+		Preds: []PredIR{
+			{Left: col("f", "f_price"), Op: exec.Lt, Val: table.FloatVal(900)},
+		},
+		Outputs: []OutputIR{
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_key"}}, As: "k"},
+			{Expr: &ExprIR{Col: &ColRef{Table: "f", Col: "f_price"}}, As: "p"},
+		},
+		Limit: -1,
+	}
+}
+
+// cpuBoundEnv reshapes the test world's env so the scan is CPU-bound on
+// an 8-core box (same knobs as the parallel DOP tests).
+func cpuBoundEnv(w *testWorld) *Env {
+	w.env.Cores = 8
+	w.env.ScanBW *= 8
+	w.env.PageLatency /= 50
+	return w.env
+}
+
+// TestEnvScoreIdleFloor pins the scoring arithmetic: the idle-floor-aware
+// mode bills IdleWatts × Seconds on the energy objectives and leaves
+// MinTime untouched.
+func TestEnvScoreIdleFloor(t *testing.T) {
+	c := Cost{Seconds: 2, Joules: 10}
+	marginal := &Env{EnergyMode: MarginalEnergy, IdleWatts: 40}
+	aware := &Env{EnergyMode: IdleFloorAware, IdleWatts: 40}
+	if got := marginal.Score(c, MinEnergy); got != 10 {
+		t.Fatalf("marginal MinEnergy score = %v, want 10", got)
+	}
+	if got := aware.Score(c, MinEnergy); got != 10+40*2 {
+		t.Fatalf("idle-aware MinEnergy score = %v, want 90", got)
+	}
+	if got := aware.Score(c, MinEDP); got != (10+40*2)*2 {
+		t.Fatalf("idle-aware MinEDP score = %v, want 180", got)
+	}
+	if got := aware.Score(c, MinTime); got != 2 {
+		t.Fatalf("MinTime score must ignore energy mode, got %v", got)
+	}
+}
+
+// TestIdleFloorAwareMinEnergyBuysParallel: under marginal pricing
+// MinEnergy keeps a CPU-bound scan serial (parallelism costs startup
+// joules and only saves seconds). Once the objective bills the idle
+// floor, seconds *are* joules — MinEnergy buys the parallel race-to-idle
+// plan the wall meter prefers, agreeing with MinTime's shape.
+func TestIdleFloorAwareMinEnergyBuysParallel(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	env := cpuBoundEnv(w)
+	q := scanQueryIR()
+
+	env.EnergyMode = MarginalEnergy
+	lean, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(lean.Explain(), "dop=") {
+		t.Fatalf("marginal MinEnergy went parallel:\n%s", lean.Explain())
+	}
+
+	env.EnergyMode = IdleFloorAware
+	env.IdleWatts = 200 // idle floor dwarfs the per-core startup joules
+	aware, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(aware.Explain(), "dop=") {
+		t.Fatalf("idle-floor-aware MinEnergy stayed serial:\n%s", aware.Explain())
+	}
+	// The wall meter agrees: marginal joules + floor joules are lower for
+	// the plan the aware objective picked.
+	wall := func(c Cost) float64 { return c.Joules + env.IdleWatts*c.Seconds }
+	if wall(aware.Cost()) >= wall(lean.Cost()) {
+		t.Fatalf("aware plan wall energy %v >= serial %v", wall(aware.Cost()), wall(lean.Cost()))
+	}
+}
+
+// TestPStateSweepWideAndSlow: with the P-state axis open and marginal
+// core power well above the idle floor, MinEnergy should run the CPU
+// slow (P1: 0.7x freq at 0.4x power) — trading seconds it now pays the
+// small floor for against active joules — while MinTime stays at P0.
+func TestPStateSweepWideAndSlow(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	env := cpuBoundEnv(w)
+	env.EnergyMode = IdleFloorAware
+	env.IdleWatts = 10 // CPUWattPerCore is 90: slowing down pays
+	env.PStates = []PStatePoint{
+		{Name: "P0", FreqScale: 1, PowerScale: 1},
+		{Name: "P1", FreqScale: 0.7, PowerScale: 0.4},
+	}
+	q := scanQueryIR()
+
+	slow, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.PState != 1 || slow.PStateName != "P1" {
+		t.Fatalf("MinEnergy P-state = %d (%s), want the slow point:\n%s",
+			slow.PState, slow.PStateName, slow.Explain())
+	}
+	if !strings.Contains(slow.Explain(), "pstate=P1") {
+		t.Fatalf("explain does not surface the P-state:\n%s", slow.Explain())
+	}
+
+	fast, err := Optimize(q, w.cat, env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.PState != 0 {
+		t.Fatalf("MinTime P-state = %d, want P0", fast.PState)
+	}
+	if fast.Cost().Seconds >= slow.Cost().Seconds {
+		t.Fatalf("P1 plan is not slower: %v vs %v", slow.Cost(), fast.Cost())
+	}
+	// And genuinely cheaper under the objective's own score.
+	if env.Score(slow.Cost(), MinEnergy) >= env.Score(fast.Cost(), MinEnergy) {
+		t.Fatalf("P1 plan is not cheaper: %v vs %v", slow.Cost(), fast.Cost())
+	}
+}
+
+// TestTimeBudgetConstrainsPlanChoice: a deadline budget restricts the
+// candidates to plans that fit; a budget nothing fits falls back to the
+// fastest plan rather than failing.
+func TestTimeBudgetConstrainsPlanChoice(t *testing.T) {
+	w := newWorld(t, 40000, 50)
+	env := cpuBoundEnv(w)
+	env.EnergyMode = IdleFloorAware
+	env.IdleWatts = 10
+	env.PStates = []PStatePoint{
+		{Name: "P0", FreqScale: 1, PowerScale: 1},
+		{Name: "P1", FreqScale: 0.7, PowerScale: 0.4},
+	}
+	q := scanQueryIR()
+
+	free, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastest, err := Optimize(q, w.cat, env, MinTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Cost().Seconds <= fastest.Cost().Seconds {
+		t.Fatalf("unbudgeted MinEnergy is not slower than MinTime; test rig broken")
+	}
+
+	// A budget between the two forces MinEnergy off its slow plan onto
+	// something that fits.
+	env.TimeBudget = (free.Cost().Seconds + fastest.Cost().Seconds) / 2
+	fits, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fits.Cost().Seconds > env.TimeBudget {
+		t.Fatalf("budgeted plan takes %v > budget %v", fits.Cost().Seconds, env.TimeBudget)
+	}
+
+	// An impossible budget degrades to the fastest candidate.
+	env.TimeBudget = fastest.Cost().Seconds / 1e6
+	desperate, err := Optimize(q, w.cat, env, MinEnergy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desperate.Cost().Seconds > fastest.Cost().Seconds*(1+1e-9) {
+		t.Fatalf("fallback plan takes %v, fastest is %v", desperate.Cost().Seconds, fastest.Cost().Seconds)
+	}
+}

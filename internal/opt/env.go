@@ -29,6 +29,39 @@ func (o Objective) String() string {
 	}
 }
 
+// EnergyMode selects how the energy objectives (MinEnergy, MinEDP) price
+// a plan's joules.
+type EnergyMode int
+
+const (
+	// MarginalEnergy prices only busy-minus-idle joules — the paper's
+	// Figure 2 arithmetic, which assumes the idle floor is someone else's
+	// problem. Under it MinEnergy never buys race-to-idle: parallelism
+	// costs startup joules and saves only seconds.
+	MarginalEnergy EnergyMode = iota
+	// IdleFloorAware adds IdleWatts × Seconds to the energy score: the
+	// query is billed the idle floor it keeps the server awake for, the
+	// same attribution the wall meter and the energy.Attributor use. Under
+	// it MinEnergy agrees with the meter — finishing sooner saves the
+	// floor, so race-to-idle and wide-and-slow DVFS plans can win.
+	IdleFloorAware
+)
+
+func (m EnergyMode) String() string {
+	if m == IdleFloorAware {
+		return "idle-floor"
+	}
+	return "marginal"
+}
+
+// PStatePoint is one CPU operating point for the planner's P-state axis,
+// mirroring hw.PState: frequency and active power relative to P0.
+type PStatePoint struct {
+	Name       string
+	FreqScale  float64
+	PowerScale float64
+}
+
 // Env describes the hardware to the cost models: performance parameters
 // for the time model, marginal power parameters for the energy model.
 // Power is *marginal* (above idle): the paper's Figure 2 arithmetic
@@ -61,6 +94,24 @@ type Env struct {
 	// paper argues optimizers should treat memory as power-expensive, so
 	// experiments sweep this knob upward (see EXPERIMENTS.md E3).
 	DRAMWattPerByte float64
+
+	// EnergyMode selects marginal or idle-floor-aware pricing for the
+	// energy objectives; IdleWatts is the whole-server idle floor the
+	// idle-floor-aware mode bills per second of plan runtime.
+	EnergyMode EnergyMode
+	IdleWatts  float64
+
+	// PStates, when it has more than one point, opens the P-state axis:
+	// Optimize re-prices the whole plan at each operating point and keeps
+	// the best under the objective (MinTime always runs at the first
+	// point, P0). Point 0 must be the nominal {1, 1}.
+	PStates []PStatePoint
+
+	// TimeBudget, when positive, constrains plan choice: among candidate
+	// plans only those with Seconds within the budget compete under the
+	// objective, and a fastest-at-P0 fallback is always considered — so a
+	// deadline query is planned cheap-if-possible, fast-if-necessary.
+	TimeBudget float64
 
 	Costs exec.CostParams
 }
@@ -103,7 +154,8 @@ type Cost struct {
 	MemBytes int64
 }
 
-// Score reduces a cost to the optimizer's comparison key.
+// Score reduces a cost to the optimizer's comparison key under marginal
+// energy pricing. Env.Score is the environment-aware version.
 func (c Cost) Score(o Objective) float64 {
 	switch o {
 	case MinTime:
@@ -113,6 +165,34 @@ func (c Cost) Score(o Objective) float64 {
 	default:
 		return c.Joules * c.Seconds
 	}
+}
+
+// Score reduces a cost to the comparison key the optimizer minimises,
+// honouring the environment's energy mode: in IdleFloorAware mode the
+// energy objectives bill the idle floor the plan keeps the server awake
+// for (IdleWatts × Seconds) on top of marginal joules.
+func (e *Env) Score(c Cost, o Objective) float64 {
+	if o == MinTime {
+		return c.Seconds
+	}
+	j := c.Joules
+	if e.EnergyMode == IdleFloorAware {
+		j += e.IdleWatts * c.Seconds
+	}
+	if o == MinEnergy {
+		return j
+	}
+	return j * c.Seconds
+}
+
+// AtPState derives the environment at one CPU operating point: frequency
+// and marginal core power scale by the point's factors. The idle floor
+// does not scale — that is the point of DVFS.
+func (e *Env) AtPState(p PStatePoint) *Env {
+	g := *e
+	g.CPUFreqHz *= p.FreqScale
+	g.CPUWattPerCore *= p.PowerScale
+	return &g
 }
 
 // Add composes sequential costs: times add, joules add, memory peaks.

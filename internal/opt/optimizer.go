@@ -11,6 +11,15 @@ import (
 // the objective: access-path (placement variant) selection per table,
 // predicate pushdown, join order and algorithm by dynamic programming over
 // table subsets, then aggregation, sort and limit.
+//
+// When the environment exposes more than one CPU P-state and the
+// objective is an energy one, the whole plan search repeats at each
+// operating point and the best plan under the environment's score wins —
+// wide-and-slow at a low P-state competes directly with narrow-and-fast
+// at P0. A positive Env.TimeBudget restricts the field to plans that fit
+// the budget (with a fastest-at-P0 fallback candidate, and the overall
+// fastest plan if nothing fits), so deadline queries are planned
+// cheap-if-possible, fast-if-necessary.
 func Optimize(q *Query, cat *Catalog, env *Env, obj Objective) (*Plan, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
@@ -21,8 +30,59 @@ func Optimize(q *Query, cat *Catalog, env *Env, obj Objective) (*Plan, error) {
 	if len(q.Tables) > 12 {
 		return nil, fmt.Errorf("opt: %d tables exceeds the 12-table DP limit", len(q.Tables))
 	}
-	o := &optimizer{q: q, cat: cat, env: env, obj: obj}
-	return o.run()
+	pstates := env.PStates
+	if len(pstates) == 0 {
+		pstates = []PStatePoint{{Name: "P0", FreqScale: 1, PowerScale: 1}}
+	}
+	if obj == MinTime {
+		// Lower P-states only trade time for energy; MinTime never wants
+		// that, so skip the sweep.
+		pstates = pstates[:1]
+	}
+	var plans []*Plan
+	for i, ps := range pstates {
+		o := &optimizer{q: q, cat: cat, env: env.AtPState(ps), obj: obj}
+		p, err := o.run()
+		if err != nil {
+			return nil, err
+		}
+		p.PState = i
+		p.PStateName = ps.Name
+		plans = append(plans, p)
+	}
+	if env.TimeBudget > 0 && obj != MinTime {
+		// A deadline query must also consider the plan a pure-latency
+		// optimizer would pick, at full frequency.
+		o := &optimizer{q: q, cat: cat, env: env.AtPState(pstates[0]), obj: MinTime}
+		p, err := o.run()
+		if err != nil {
+			return nil, err
+		}
+		p.PState = 0
+		p.PStateName = pstates[0].Name
+		plans = append(plans, p)
+	}
+	var best *Plan
+	bestScore := math.Inf(1)
+	for _, p := range plans {
+		if env.TimeBudget > 0 && p.Root.Cost().Seconds > env.TimeBudget {
+			continue
+		}
+		if s := env.Score(p.Root.Cost(), obj); s < bestScore {
+			best, bestScore = p, s
+		}
+	}
+	if best == nil {
+		// Nothing fits the budget: take the fastest candidate and let the
+		// deadline machinery decide its fate at run time.
+		for _, p := range plans {
+			if best == nil || p.Root.Cost().Seconds < best.Root.Cost().Seconds {
+				best = p
+			}
+		}
+	}
+	best.Objective = obj
+	return best, nil
 }
 
 type optimizer struct {
@@ -259,9 +319,9 @@ func (o *optimizer) bestScan(alias string) (PhysNode, error) {
 			for i, n := range needed {
 				cand.cols[i] = ColRef{Table: alias, Col: n}
 			}
-			if best == nil || cost.Score(o.obj) < bestScore {
+			if best == nil || o.env.Score(cost, o.obj) < bestScore {
 				best = cand
-				bestScore = cost.Score(o.obj)
+				bestScore = o.env.Score(cost, o.obj)
 			}
 		}
 	}
@@ -472,9 +532,9 @@ func (o *optimizer) joinDP(scans map[string]PhysNode) (PhysNode, error) {
 						continue
 					}
 					for _, cand := range o.joinCandidates(a, b, ac, bc, jp) {
-						if bestPlan == nil || cand.Cost().Score(o.obj) < bestScore {
+						if bestPlan == nil || o.env.Score(cand.Cost(), o.obj) < bestScore {
 							bestPlan = cand
-							bestScore = cand.Cost().Score(o.obj)
+							bestScore = o.env.Score(cand.Cost(), o.obj)
 						}
 					}
 				}
@@ -673,7 +733,7 @@ func (o *optimizer) buildAgg(in PhysNode) (PhysNode, error) {
 	outCols := append(append([]ColRef{}, o.q.GroupBy...), aggRefs...)
 	best := &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
 		cols: outCols, card: groups, cost: aggCost}
-	bestScore := aggCost.Score(o.obj)
+	bestScore := o.env.Score(aggCost, o.obj)
 
 	// Extend the DOP sweep to the whole pipeline: when the aggregation sits
 	// directly on a scan, price fragmenting scan+project+partial-agg
@@ -699,10 +759,10 @@ func (o *optimizer) buildAgg(in PhysNode) (PhysNode, error) {
 			joules := (w.cpuSecs+pipeCPU+startup)*env.CPUWattPerCore + w.ioJoules +
 				float64(dop)*foldCycles/env.CPUFreqHz*env.CPUWattPerCore
 			c := Cost{Seconds: secs, Joules: joules, MemBytes: int64(dop) * mem}
-			if c.Score(o.obj) < bestScore {
+			if o.env.Score(c, o.obj) < bestScore {
 				best = &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
 					DOP: dop, cols: outCols, card: groups, cost: c}
-				bestScore = c.Score(o.obj)
+				bestScore = o.env.Score(c, o.obj)
 			}
 		}
 	}

@@ -640,6 +640,10 @@ func (l *PLimit) explain(b *strings.Builder, indent string) {
 type Plan struct {
 	Root      PhysNode
 	Objective Objective
+	// PState is the CPU operating point the plan was priced at (index
+	// into Env.PStates; 0 = nominal). PStateName is its label.
+	PState     int
+	PStateName string
 }
 
 // Cost reports the plan's dual cost.
@@ -657,7 +661,11 @@ func (p *Plan) MaxDOP() int { return p.Root.MaxDOP() }
 // Explain renders the plan as an indented tree with per-node costs.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "objective=%v total=%v\n", p.Objective, p.Root.Cost())
+	fmt.Fprintf(&b, "objective=%v total=%v", p.Objective, p.Root.Cost())
+	if p.PState > 0 {
+		fmt.Fprintf(&b, " pstate=%s", p.PStateName)
+	}
+	b.WriteString("\n")
 	p.Root.explain(&b, "")
 	return b.String()
 }

@@ -17,6 +17,15 @@
 //     arrivals for that many seconds from the first held job and releases
 //     them together, consolidating activity so the gaps between bursts
 //     grow long enough for disks to spin down — at the cost of latency.
+//
+// Which queued job dispatches next, and how many cores it is granted, is
+// delegated to a pluggable Policy (policy.go): FIFO with fair-share
+// grants (the default), earliest-deadline-first, or the consolidating
+// energy-aware policy. The controller additionally supports *re-grant on
+// completion*: when a job finishes and leaves cores free with nothing
+// queued, running jobs that registered a widen callback are offered the
+// freed cores in admission order, so a query admitted narrow on a busy
+// box can restart its pipeline wider once the box drains.
 package sched
 
 import (
@@ -33,9 +42,11 @@ type Ticket struct {
 	Want     int     // cores requested (clamped to [1, TotalCores])
 	Granted  int     // cores granted at admission; 0 while held or queued
 	Deadline float64 // absolute engine time; 0 = none
+	Tag      string  // compatibility tag for consolidating policies; "" = untagged
 
 	run       func(p *sim.Proc, granted int)
 	fail      func(err error)
+	widen     func(free int) int
 	submitted float64
 	admitted  float64
 	finished  float64
@@ -45,6 +56,10 @@ type Ticket struct {
 
 // Wait reports the delay between submission and admission.
 func (t *Ticket) Wait() float64 { return t.admitted - t.submitted }
+
+// Running reports whether the ticket's job has been dispatched and has
+// not yet completed.
+func (t *Ticket) Running() bool { return t.running }
 
 // Stats summarises the controller's history.
 type Stats struct {
@@ -58,6 +73,8 @@ type Stats struct {
 	TotalLatency float64 // time between submission and completion
 	PeakActive   int     // most jobs running at once
 	PeakQueue    int     // deepest admission queue
+	Regrants     int64   // widen offers accepted by running jobs
+	RegrantCores int64   // cores handed out through accepted widen offers
 }
 
 // MeanWait reports the average queueing delay added by admission.
@@ -89,27 +106,47 @@ type Admission struct {
 	// Window, when positive, holds arrivals for that many seconds from
 	// the first held job and releases them together (admission batching).
 	Window float64
+	// ReGrant enables widen offers: when a completion leaves cores free
+	// and the queue empty, running tickets that registered a widen
+	// callback are offered the freed cores in admission order.
+	ReGrant bool
 
+	policy   Policy
 	nextID   int64
 	free     int
 	active   int
 	holding  []*Ticket // waiting for the window to close
 	queue    []*Ticket // released, waiting for a free core
+	running  []*Ticket // dispatched, not yet complete (admission order)
 	armed    bool      // a dispatch event is pending
 	windowed bool      // a window-release event is pending
+	offering bool      // a widen-offer event is pending
 	stats    Stats
 }
 
-// NewAdmission returns a controller over cores simulated cores.
+// NewAdmission returns a controller over cores simulated cores using the
+// FIFO fair-share policy.
 func NewAdmission(eng *sim.Engine, cores int, window float64) *Admission {
+	return NewAdmissionPolicy(eng, cores, window, FIFO{})
+}
+
+// NewAdmissionPolicy returns a controller dispatching under the given
+// policy.
+func NewAdmissionPolicy(eng *sim.Engine, cores int, window float64, pol Policy) *Admission {
 	if cores < 1 {
 		panic(fmt.Sprintf("sched: %d cores", cores))
 	}
-	return &Admission{eng: eng, TotalCores: cores, Window: window, free: cores}
+	if pol == nil {
+		pol = FIFO{}
+	}
+	return &Admission{eng: eng, TotalCores: cores, Window: window, policy: pol, free: cores}
 }
 
 // Stats returns a copy of the counters.
 func (a *Admission) Stats() Stats { return a.stats }
+
+// Policy returns the dispatch policy in force.
+func (a *Admission) Policy() Policy { return a.policy }
 
 // Active reports how many admitted jobs are currently running.
 func (a *Admission) Active() int { return a.active }
@@ -128,6 +165,7 @@ type Job struct {
 	Name     string
 	Want     int     // cores requested (clamped to [1, TotalCores])
 	Deadline float64 // absolute engine time; 0 = none
+	Tag      string  // compatibility tag (e.g. statement text); "" = untagged
 	Run      func(p *sim.Proc, granted int)
 	Fail     func(err error)
 }
@@ -156,7 +194,7 @@ func (a *Admission) SubmitJob(j Job) *Ticket {
 		want = a.TotalCores
 	}
 	t := &Ticket{ID: a.nextID, Name: j.Name, Want: want, Deadline: j.Deadline,
-		run: j.Run, fail: j.Fail, submitted: a.eng.Now()}
+		Tag: j.Tag, run: j.Run, fail: j.Fail, submitted: a.eng.Now()}
 	a.stats.Submitted++
 	if t.Deadline > 0 {
 		at := t.Deadline
@@ -240,8 +278,10 @@ func (a *Admission) Reset() {
 	a.active = 0
 	a.queue = nil
 	a.holding = nil
+	a.running = nil
 	a.armed = false
 	a.windowed = false
+	a.offering = false
 }
 
 // release moves the held window batch to the admission queue.
@@ -272,18 +312,27 @@ func (a *Admission) armDispatch() {
 	})
 }
 
-// dispatch admits queued jobs FIFO while cores are free. Each job is
-// granted its fair share of the machine given everyone running or waiting
-// — min(want, totalCores/(active+queued), free), never less than one —
-// so grants come only from free cores, a lone query gets them all, and a
+// dispatch admits queued jobs while cores are free. The policy picks
+// which queued job goes next (or holds the queue); the grant is the
+// policy's, clamped to [1, free]. Under the default FIFO policy this is
+// the historical behaviour: arrival order with fair-share grants —
+// min(want, totalCores/(active+queued), free), never less than one — so
+// grants come only from free cores, a lone query gets them all, and a
 // saturating stream load degrades to one core per query.
 func (a *Admission) dispatch() {
 	for len(a.queue) > 0 && a.free > 0 {
-		t := a.queue[0]
+		i := a.policy.Select(a.eng.Now(), a.queue, a.running, a.free, a.TotalCores)
+		if i < 0 || i >= len(a.queue) {
+			if a.active > 0 {
+				break // policy holds the queue; a completion re-arms dispatch
+			}
+			i = 0 // starvation guard: never hold work on an idle box
+		}
+		t := a.queue[i]
 		if t.Deadline > 0 && t.Deadline <= a.eng.Now() {
 			// Already past its deadline at dispatch time: reject rather
 			// than start work that can only be thrown away.
-			a.queue = a.queue[1:]
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
 			t.canceled = true
 			a.stats.Expired++
 			if t.fail != nil {
@@ -292,18 +341,14 @@ func (a *Admission) dispatch() {
 			}
 			continue
 		}
-		share := a.TotalCores / (a.active + len(a.queue))
-		if share < 1 {
-			share = 1
-		}
-		g := t.Want
-		if share < g {
-			g = share
+		g := a.policy.Grant(t, a.eng.Now(), a.free, a.TotalCores, a.active, len(a.queue))
+		if g < 1 {
+			g = 1
 		}
 		if a.free < g {
 			g = a.free
 		}
-		a.queue = a.queue[1:]
+		a.queue = append(a.queue[:i], a.queue[i+1:]...)
 		a.free -= g
 		a.active++
 		if a.active > a.stats.PeakActive {
@@ -316,12 +361,21 @@ func (a *Admission) dispatch() {
 			a.stats.Waited++
 		}
 		a.stats.TotalWait += t.admitted - t.submitted
+		a.running = append(a.running, t)
 		a.eng.Go(t.Name, func(p *sim.Proc) {
 			t.run(p, t.Granted)
 			a.complete(t)
 		})
 	}
 }
+
+// SetWiden registers a running ticket's widen callback. When a completion
+// leaves cores free and nothing queued (and ReGrant is enabled), the
+// callback is offered the free cores and returns how many it accepts —
+// typically after replanning at the wider grant and arranging a pipeline
+// restart. It must return between 0 and the offer; the controller
+// applies the acceptance to the ticket's grant. Pass nil to deregister.
+func (a *Admission) SetWiden(t *Ticket, fn func(free int) int) { t.widen = fn }
 
 // Shrink returns part of a running job's grant to the free pool — a
 // query whose chosen plan uses fewer cores than it was granted gives the
@@ -342,14 +396,62 @@ func (a *Admission) Shrink(t *Ticket, to int) {
 	}
 }
 
-// complete returns a finished job's cores and admits waiting work.
+// complete returns a finished job's cores and admits waiting work. When
+// nothing is queued and re-grant is enabled, the freed cores are instead
+// offered to the jobs still running.
 func (a *Admission) complete(t *Ticket) {
 	t.finished = a.eng.Now()
+	t.running = false
+	t.widen = nil
 	a.free += t.Granted
 	a.active--
 	a.stats.Completed++
 	a.stats.TotalLatency += t.finished - t.submitted
+	for i, r := range a.running {
+		if r == t {
+			a.running = append(a.running[:i], a.running[i+1:]...)
+			break
+		}
+	}
 	if len(a.queue) > 0 {
 		a.armDispatch()
+		return
+	}
+	if a.ReGrant && a.free > 0 && len(a.running) > 0 && !a.offering {
+		a.offering = true
+		a.eng.After(0, "sched-regrant", func() {
+			a.offering = false
+			a.offerWiden()
+		})
+	}
+}
+
+// offerWiden hands freed cores to running tickets in admission order.
+// Each widen callback sees the cores still free and accepts some prefix
+// of them; the controller moves the acceptance from the free pool onto
+// the ticket's grant. Offers are only made when the queue is empty —
+// queued work always has first claim on freed cores.
+func (a *Admission) offerWiden() {
+	if a.free <= 0 || len(a.queue) > 0 || len(a.holding) > 0 {
+		return
+	}
+	for _, t := range a.running {
+		if a.free <= 0 {
+			break
+		}
+		if t.widen == nil || !t.running {
+			continue
+		}
+		got := t.widen(a.free)
+		if got <= 0 {
+			continue
+		}
+		if got > a.free {
+			got = a.free
+		}
+		a.free -= got
+		t.Granted += got
+		a.stats.Regrants++
+		a.stats.RegrantCores += int64(got)
 	}
 }
