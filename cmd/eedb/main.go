@@ -1,5 +1,10 @@
 // Command eedb is a SQL REPL over an energy-aware database on a simulated
 // server: every query prints its rows, simulated elapsed time, and joules.
+//
+// The shell always speaks the wire protocol through the client driver.
+// By default it embeds a server in-process (over an in-memory pipe);
+// -connect attaches to a remote eedb instead, and -serve exposes the
+// embedded server on TCP for other shells to join.
 package main
 
 import (
@@ -10,39 +15,75 @@ import (
 	"strings"
 
 	"energydb"
+	"energydb/internal/client"
+	"energydb/internal/server"
+	"energydb/internal/table"
 )
 
 func main() {
 	objective := flag.String("objective", "time", "optimizer objective: time, energy, edp")
 	disks := flag.Int("disks", 4, "number of disks on the simulated server")
 	sf := flag.Float64("tpch", 0, "preload TPC-H at this scale factor (0 = none)")
+	tenant := flag.String("tenant", "local", "tenant name for energy billing")
+	connect := flag.String("connect", "", "attach to a served eedb at this address instead of embedding")
+	serve := flag.String("serve", "", "also listen on this TCP address (e.g. :7543) for other shells")
 	flag.Parse()
 
-	cfg := energydb.Config{Server: energydb.SmallServer(*disks)}
-	switch *objective {
-	case "time":
-		cfg.Objective = energydb.MinTime
-	case "energy":
-		cfg.Objective = energydb.MinEnergy
-	case "edp":
-		cfg.Objective = energydb.MinEDP
-	default:
-		fmt.Fprintf(os.Stderr, "unknown objective %q\n", *objective)
-		os.Exit(1)
-	}
-	db, err := energydb.Open(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if *sf > 0 {
-		for _, t := range energydb.GenerateTPCH(*sf, 42) {
-			if err := db.LoadTable(t); err != nil {
+	var c *client.DB
+	var srv *server.Server
+	if *connect != "" {
+		var err error
+		c, err = client.Dial(*connect, *tenant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("connected to %s as tenant %q\n", *connect, *tenant)
+	} else {
+		cfg := energydb.Config{Server: energydb.SmallServer(*disks)}
+		switch *objective {
+		case "time":
+			cfg.Objective = energydb.MinTime
+		case "energy":
+			cfg.Objective = energydb.MinEnergy
+		case "edp":
+			cfg.Objective = energydb.MinEDP
+		default:
+			fmt.Fprintf(os.Stderr, "unknown objective %q\n", *objective)
+			os.Exit(1)
+		}
+		db, err := energydb.Open(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *sf > 0 {
+			for _, t := range energydb.GenerateTPCH(*sf, 42) {
+				if err := db.LoadTable(t); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			}
+			fmt.Printf("loaded TPC-H sf=%v: %s\n", *sf, strings.Join(db.Tables(), ", "))
+		}
+		srv = server.New(db)
+		if *serve != "" {
+			if err := srv.Listen(*serve); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+			fmt.Printf("serving on %s\n", srv.Addr())
 		}
-		fmt.Printf("loaded TPC-H sf=%v: %s\n", *sf, strings.Join(db.Tables(), ", "))
+		c, err = client.New(srv.Pipe(), *tenant)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	sess, err := c.Session()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	fmt.Println("eedb — energy-aware SQL shell (end statements with ';', \\q to quit)")
@@ -52,8 +93,17 @@ func main() {
 	fmt.Print("eedb> ")
 	for sc.Scan() {
 		line := sc.Text()
-		if strings.TrimSpace(line) == `\q` {
+		switch strings.TrimSpace(line) {
+		case `\q`:
+			c.Close()
+			if srv != nil {
+				srv.Close()
+			}
 			return
+		case `\meter`:
+			printMeter(c)
+			fmt.Print("eedb> ")
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -63,43 +113,82 @@ func main() {
 		}
 		stmt := buf.String()
 		buf.Reset()
-		res, err := db.Exec(stmt)
-		if err != nil {
+		if err := run(c, sess, stmt); err != nil {
 			fmt.Println("error:", err)
-		} else {
-			printResult(res)
 		}
 		fmt.Print("eedb> ")
 	}
 }
 
-func printResult(res *energydb.Result) {
-	if res.Plan != nil && res.Rows == nil {
-		fmt.Print(res.Plan.Explain())
-		return
+// run executes one statement through the wire protocol.
+func run(c *client.DB, sess *client.Session, stmt string) error {
+	head := strings.ToUpper(strings.Fields(strings.TrimSpace(stmt))[0])
+	switch head {
+	case "EXPLAIN":
+		b, err := sess.Explain(stmt)
+		if err != nil {
+			return err
+		}
+		printRows(b.Schema, func() (int, func(i int) []Value) { return b.Rows(), b.Row })
+		return nil
+	case "SELECT":
+		rows, err := sess.Query(stmt)
+		if err != nil {
+			return err
+		}
+		tab, res, err := rows.Collect()
+		if err != nil {
+			return err
+		}
+		if tab != nil {
+			printRows(tab.Schema, func() (int, func(i int) []Value) {
+				return tab.Rows(), func(i int) []Value { return tab.Slice(i, i+1).Row(0) }
+			})
+		}
+		fmt.Printf("%d row(s) in %.4gs, %.4gJ attributed (%.4gJ marginal + %.4gJ idle share)\n",
+			res.RowCount, res.Elapsed, res.Attributed, res.Marginal, res.Shared)
+		return nil
+	default:
+		if err := c.Exec(stmt); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+		return nil
 	}
-	if res.Rows != nil {
-		for _, c := range res.Rows.Schema.Cols {
-			fmt.Printf("%-18s", c.Name)
+}
+
+// Value aliases the storage value type for the row printers.
+type Value = table.Value
+
+func printRows(schema *table.Schema, rows func() (int, func(i int) []Value)) {
+	for _, col := range schema.Cols {
+		fmt.Printf("%-18s", col.Name)
+	}
+	fmt.Println()
+	n, row := rows()
+	shown := n
+	if shown > 25 {
+		shown = 25
+	}
+	for i := 0; i < shown; i++ {
+		for _, v := range row(i) {
+			fmt.Printf("%-18s", v.String())
 		}
 		fmt.Println()
-		n := res.Rows.Rows()
-		shown := n
-		if shown > 25 {
-			shown = 25
-		}
-		for i := 0; i < shown; i++ {
-			for _, v := range res.Rows.Slice(i, i+1).Row(0) {
-				fmt.Printf("%-18s", v.String())
-			}
-			fmt.Println()
-		}
-		if shown < n {
-			fmt.Printf("... (%d rows)\n", n)
-		}
-		fmt.Printf("%d row(s) in %v, %v (%.3g rows/J)\n",
-			n, res.Elapsed, res.Joules, float64(res.Efficiency()))
+	}
+	if shown < n {
+		fmt.Printf("... (%d rows)\n", n)
+	}
+}
+
+func printMeter(c *client.DB) {
+	m, err := c.Meter()
+	if err != nil {
+		fmt.Println("error:", err)
 		return
 	}
-	fmt.Println("ok")
+	fmt.Printf("t=%.3fs  meter %.4gJ  idle floor %.4gJ\n", m.Now, m.MeterJ, m.UnattributedJ)
+	for _, t := range m.Tenants {
+		fmt.Printf("  %-12s %.4gJ over %d queries, %d inserts\n", t.Tenant, t.AttributedJ, t.Queries, t.Inserts)
+	}
 }

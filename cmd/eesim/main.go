@@ -1,0 +1,62 @@
+// Command eesim runs the multi-tenant diurnal workload simulator: N
+// tenants with sinusoidal arrival curves drive a mixed
+// interactive/analytic/insert workload through the server's wire
+// protocol (or the embedded Session API with -embedded), print the
+// per-tenant billing report, and write the latency/energy trajectory to
+// a JSON file for CI tracking.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"energydb/internal/bench"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 4, "number of tenants")
+	days := flag.Float64("days", 2, "simulated days")
+	sf := flag.Float64("sf", 0, "TPC-H scale factor for the analytic tables")
+	seed := flag.Int64("seed", 0, "arrival-process seed")
+	disks := flag.Int("disks", 0, "data disks on the small-server rig")
+	apd := flag.Float64("arrivals", 0, "mean statement arrivals per tenant-day")
+	deadline := flag.Float64("deadline", 0, "interactive latency budget, seconds")
+	embedded := flag.Bool("embedded", false, "drive the embedded Session API instead of the wire protocol")
+	out := flag.String("out", "", "write the trajectory JSON here (e.g. BENCH_workload.json)")
+	flag.Parse()
+
+	res, err := bench.RunWorkload(bench.WorkloadConfig{
+		Tenants:        *tenants,
+		Days:           *days,
+		SF:             *sf,
+		Seed:           *seed,
+		Disks:          *disks,
+		ArrivalsPerDay: *apd,
+		DeadlineSec:    *deadline,
+		Remote:         !*embedded,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "eesim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if gap := res.AttributionError(); gap > 1e-6 {
+		fmt.Fprintf(os.Stderr, "eesim: billing does not close (gap %.2e J)\n", gap)
+		os.Exit(1)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eesim: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "eesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

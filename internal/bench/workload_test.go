@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestWorkloadBilling: the simulator's billing report closes — the wall
+// meter equals Σ per-tenant attributed joules plus the idle floor — and
+// the headline metrics are populated and sane.
+func TestWorkloadBilling(t *testing.T) {
+	res, err := RunWorkload(WorkloadConfig{
+		Tenants: 3, Days: 0.25, ArrivalsPerDay: 64, Seed: 7, Remote: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statements < 10 {
+		t.Fatalf("only %d statements over the horizon", res.Statements)
+	}
+	if gap := res.AttributionError(); gap > 1e-6 {
+		t.Fatalf("billing does not close: meter %.6f, Σ bills %.6f, idle %.6f (gap %.2e)",
+			res.MeterJ, res.SumAttributedJ, res.UnattributedJ, gap)
+	}
+	if res.MeterJ <= 0 || res.UnattributedJ <= 0 {
+		t.Fatalf("meter %.3f / idle floor %.3f, want both > 0", res.MeterJ, res.UnattributedJ)
+	}
+	if res.IdleFloorShare <= 0 || res.IdleFloorShare >= 1 {
+		t.Fatalf("idle-floor share %.3f outside (0,1)", res.IdleFloorShare)
+	}
+	if res.DeadlineHitRate < 0 || res.DeadlineHitRate > 1 {
+		t.Fatalf("deadline hit rate %.3f", res.DeadlineHitRate)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("latency percentiles p50=%.3f p99=%.3f", res.P50Ms, res.P99Ms)
+	}
+	if res.JoulesPerQuery <= 0 {
+		t.Fatalf("joules/query %.6f, want > 0", res.JoulesPerQuery)
+	}
+	var billed float64
+	for _, b := range res.Bills {
+		if b.Statements == 0 {
+			t.Fatalf("tenant %s executed nothing over the horizon", b.Tenant)
+		}
+		billed += b.AttributedJ
+	}
+	if billed <= 0 {
+		t.Fatal("no tenant was billed any energy")
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestWorkloadEmbeddedRemoteBitIdentity: the same seeded workload driven
+// through the embedded Session API and through the wire protocol
+// produces bit-identical result rows and the same wall meter.
+func TestWorkloadEmbeddedRemoteBitIdentity(t *testing.T) {
+	cfg := WorkloadConfig{
+		Tenants: 2, Days: 0.2, ArrivalsPerDay: 48, Seed: 11, CollectRows: true,
+	}
+	emb, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Remote = true
+	rem, err := RunWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Fingerprints) == 0 {
+		t.Fatal("no result rows collected")
+	}
+	if len(emb.Fingerprints) != len(rem.Fingerprints) {
+		t.Fatalf("embedded completed %d queries, remote %d", len(emb.Fingerprints), len(rem.Fingerprints))
+	}
+	for i := range emb.Fingerprints {
+		if emb.Fingerprints[i] != rem.Fingerprints[i] {
+			t.Fatalf("query %d rows differ across the wire:\nembedded:\n%s\nremote:\n%s",
+				i, emb.Fingerprints[i], rem.Fingerprints[i])
+		}
+	}
+	if emb.MeterJ != rem.MeterJ {
+		t.Fatalf("wall meter differs: embedded %.9f J, remote %.9f J", emb.MeterJ, rem.MeterJ)
+	}
+	if emb.Statements != rem.Statements || emb.DeadlineHitRate != rem.DeadlineHitRate {
+		t.Fatalf("trajectory differs: %+v vs %+v", emb, rem)
+	}
+}

@@ -342,40 +342,20 @@ func (db *DB) LoadTable(t *table.Table) error {
 }
 
 // Insert appends rows to a table; they become visible to queries after
-// the next (re)placement, and are logged when a WAL is configured.
+// the next (re)placement, and are logged when a WAL is configured. It is
+// the synchronous path: with a WAL it spawns a commit process and drains
+// the engine, so it must not be called from event context — arrival-time
+// inserts go through ExecAt instead.
 func (db *DB) Insert(name string, rows [][]table.Value) error {
-	t, ok := db.mem[name]
-	if !ok {
-		return fmt.Errorf("core: unknown table %q", name)
+	coerced, err := db.coerceInsert(name, rows)
+	if err != nil {
+		return err
 	}
-	s := db.schemas[name]
-	// Validate and coerce the whole batch before appending any row: a
-	// type error on row k must not leave rows 0..k-1 visible.
-	coerced := make([][]table.Value, len(rows))
-	for ri, r := range rows {
-		if len(r) != len(s.Cols) {
-			return fmt.Errorf("core: insert of %d values into %d columns", len(r), len(s.Cols))
-		}
-		cr := make([]table.Value, len(r))
-		for i, v := range r {
-			if v.Type.Physical() != s.Cols[i].Type.Physical() {
-				return fmt.Errorf("core: column %q wants %v, got %v", s.Cols[i].Name, s.Cols[i].Type, v.Type)
-			}
-			v.Type = s.Cols[i].Type
-			cr[i] = v
-		}
-		coerced[ri] = cr
-	}
-	// Write-ahead: the insert becomes durable before it becomes visible.
-	// The record carries the real row data, so crash recovery can rebuild
-	// the table from its placement checkpoint plus the log suffix; a
-	// failed or crashed commit leaves no phantom rows behind.
 	if db.Log != nil {
-		payload := encodeInsert(name, s, int64(t.Rows()), coerced)
 		committed := false
 		err := db.run("wal", func(p *sim.Proc) error {
-			if _, e := db.Log.Append(p, payload); e != nil {
-				return fmt.Errorf("core: insert into %q not durable: %w", name, e)
+			if e := db.logInsert(p, name, coerced); e != nil {
+				return e
 			}
 			committed = true
 			return nil
@@ -388,11 +368,56 @@ func (db *DB) Insert(name string, rows [][]table.Value) error {
 			return fmt.Errorf("core: insert into %q: %w", name, fault.ErrCrashed)
 		}
 	}
+	db.applyInsert(name, coerced)
+	return nil
+}
+
+// coerceInsert validates and coerces a whole insert batch before any row
+// is appended: a type error on row k must not leave rows 0..k-1 visible.
+func (db *DB) coerceInsert(name string, rows [][]table.Value) ([][]table.Value, error) {
+	s, ok := db.schemas[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %q", name)
+	}
+	coerced := make([][]table.Value, len(rows))
+	for ri, r := range rows {
+		if len(r) != len(s.Cols) {
+			return nil, fmt.Errorf("core: insert of %d values into %d columns", len(r), len(s.Cols))
+		}
+		cr := make([]table.Value, len(r))
+		for i, v := range r {
+			if v.Type.Physical() != s.Cols[i].Type.Physical() {
+				return nil, fmt.Errorf("core: column %q wants %v, got %v", s.Cols[i].Name, s.Cols[i].Type, v.Type)
+			}
+			v.Type = s.Cols[i].Type
+			cr[i] = v
+		}
+		coerced[ri] = cr
+	}
+	return coerced, nil
+}
+
+// logInsert makes a coerced insert durable from inside the committing
+// process p. Write-ahead: the record carries the real row data and the
+// table's current row count, so crash recovery can rebuild the table
+// from its placement checkpoint plus the log suffix; a failed or crashed
+// commit leaves no phantom rows behind.
+func (db *DB) logInsert(p *sim.Proc, name string, coerced [][]table.Value) error {
+	payload := encodeInsert(name, db.schemas[name], int64(db.mem[name].Rows()), coerced)
+	if _, e := db.Log.Append(p, payload); e != nil {
+		return fmt.Errorf("core: insert into %q not durable: %w", name, e)
+	}
+	return nil
+}
+
+// applyInsert appends a coerced batch and marks the table dirty for
+// re-placement on next use.
+func (db *DB) applyInsert(name string, coerced [][]table.Value) {
+	t := db.mem[name]
 	for _, r := range coerced {
 		t.AppendRow(r...)
 	}
 	db.dirty[name] = true
-	return nil
 }
 
 // place (re)places a table's variants on the data volume.
@@ -493,7 +518,9 @@ func (r *Result) Efficiency() energy.Efficiency {
 // to the admission controller (which, on an otherwise idle box, grants it
 // every core), executed, and collected — so it carries the same
 // attributed energy account as session queries. Multi-stream drivers use
-// DB.Session directly.
+// DB.Session directly; ExecAt schedules a non-SELECT at a future arrival
+// time instead of committing now; the network front door (internal/server)
+// exposes both over the wire.
 func (db *DB) Exec(query string) (*Result, error) {
 	st, err := sql.Parse(query)
 	if err != nil {

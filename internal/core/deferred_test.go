@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"energydb/internal/hw"
+)
+
+// TestExecAtDeferredInsert: an insert scheduled at a future simulated
+// time commits at that time (not at submission), is billed to its own
+// energy account, and the ledger closes: meter == Σ attributed +
+// unattributed after the drain.
+func TestExecAtDeferredInsert(t *testing.T) {
+	db, err := Open(Config{Server: hw.SmallServer(2), WALBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE events (tenant BIGINT, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	d, err := db.ExecAt(5.0, `INSERT INTO events VALUES (1, 2.5), (2, 0.25)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Done() {
+		t.Fatal("deferred insert ran before the clock reached its arrival")
+	}
+	if err := db.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if now := db.Srv.Eng.Now(); now < 5.0 {
+		t.Fatalf("clock at %.3f, insert was scheduled for t=5", now)
+	}
+	if d.Attributed() <= 0 {
+		t.Fatalf("deferred insert attributed %.6fJ, want > 0 (WAL commit bills)", float64(d.Attributed()))
+	}
+	res, err := db.Exec(`SELECT COUNT(*) AS n FROM events`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows.Column(0).I[0]; n != 2 {
+		t.Fatalf("%d rows visible, want 2", n)
+	}
+
+	meter, unattr := db.Ledger()
+	attributed := float64(d.Attributed()) + float64(res.Attributed)
+	if diff := math.Abs(float64(meter) - (attributed + float64(unattr))); diff > 1e-6 {
+		t.Fatalf("ledger broken: meter %.6f != attributed %.6f + unattributed %.6f (diff %.2e)",
+			float64(meter), attributed, float64(unattr), diff)
+	}
+}
+
+// TestExecAtValidation: bad statements fail synchronously, before
+// anything is scheduled.
+func TestExecAtValidation(t *testing.T) {
+	db, err := Open(Config{Server: hw.SmallServer(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE kv (k BIGINT, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecAt(1, `INSERT INTO missing VALUES (1, 'x')`); err == nil {
+		t.Fatal("insert into unknown table scheduled")
+	}
+	if _, err := db.ExecAt(1, `INSERT INTO kv VALUES (1, 2)`); err == nil {
+		t.Fatal("type-mismatched insert scheduled")
+	}
+	if _, err := db.ExecAt(1, `SELECT k FROM kv`); err == nil {
+		t.Fatal("SELECT accepted by ExecAt")
+	}
+	if got := db.Srv.Eng.Live(); got != 0 {
+		t.Fatalf("%d live processes after rejected statements", got)
+	}
+}
+
+// TestSessionExplainRows: Explain returns the chosen plan as rows with
+// the expected schema, a scan row naming the table, and positive cost
+// estimates — the wire-encodable form of EXPLAIN.
+func TestSessionExplainRows(t *testing.T) {
+	db, err := Open(Config{Server: parallelRig(), BlockRows: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadTinyTPCH(t, db, 0.01)
+	s := db.Session()
+	defer s.Close()
+
+	rows, err := s.Explain(`SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Rows() == 0 {
+		t.Fatal("empty explain")
+	}
+	if got := len(rows.Schema.Cols); got != 6 {
+		t.Fatalf("%d explain columns, want 6", got)
+	}
+	var sawScan bool
+	for i := 0; i < rows.Rows(); i++ {
+		op := rows.Column(0).S[i]
+		if strings.Contains(op, "scan") {
+			sawScan = true
+			if !strings.Contains(rows.Column(1).S[i], "lineitem") {
+				t.Fatalf("scan detail %q does not name the table", rows.Column(1).S[i])
+			}
+			if rows.Column(2).I[i] < 1 {
+				t.Fatalf("scan dop %d < 1", rows.Column(2).I[i])
+			}
+		}
+		if rows.Column(4).F[i] < 0 || rows.Column(5).F[i] < 0 {
+			t.Fatalf("negative cost estimate on row %d", i)
+		}
+	}
+	if !sawScan {
+		t.Fatal("no scan row in explain output")
+	}
+	// EXPLAIN prefix is accepted too.
+	if _, err := s.Explain(`EXPLAIN SELECT COUNT(*) AS n FROM lineitem`); err != nil {
+		t.Fatal(err)
+	}
+	// Explain must not have executed anything.
+	if got := db.Srv.Eng.Live(); got != 0 {
+		t.Fatalf("%d live processes after Explain", got)
+	}
+}

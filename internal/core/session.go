@@ -86,6 +86,35 @@ func newStmt(s *Session, text string, q *opt.Query) *Stmt {
 		plans: map[int]*opt.Plan{}, epochs: map[string]int64{}}
 }
 
+// Explain plans a SELECT (with or without a leading EXPLAIN keyword)
+// without executing it and returns the chosen plan as rows of
+// opt.ExplainSchema — one row per operator with its DOP, the plan's
+// P-state, and predicted ms/J — so EXPLAIN output is wire-encodable
+// like any result. The plan is priced at the full machine (planFor's
+// per-grant pricing happens at admission; Explain shows the unloaded
+// choice, like DB.Plan).
+func (s *Session) Explain(query string) (*table.Table, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: session %d is closed", s.id)
+	}
+	st, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if st.Select == nil {
+		return nil, fmt.Errorf("core: only SELECT can be explained")
+	}
+	q, err := s.db.bind(st.Select)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opt.Optimize(q, s.db.Catalog, s.db.Env, s.db.Objective)
+	if err != nil {
+		return nil, err
+	}
+	return plan.ExplainRows(), nil
+}
+
 // Query prepares and submits a statement in one call.
 func (s *Session) Query(query string) (*Rows, error) {
 	st, err := s.Prepare(query)
@@ -359,6 +388,13 @@ func (r *Rows) Granted() int { return r.granted }
 // Retries reports how many times the statement was re-executed after a
 // transient device fault (see Config.RetryMax).
 func (r *Rows) Retries() int { return r.retries }
+
+// Stats returns the query's settled Result, nil until the statement has
+// finished. Unlike Result it never pumps the simulation and is readable
+// even when the query failed — finish() always builds it — which is what
+// the server's DONE frame needs: a deadline-expired query still reports
+// its elapsed time, wait, and attributed joules alongside its error.
+func (r *Rows) Stats() *Result { return r.res }
 
 // Attributed reports the energy billed to this query's account (zero
 // until settled). Unlike Result it is readable even when the query

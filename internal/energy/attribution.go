@@ -84,6 +84,11 @@ func (a *Attributor) Unattributed() Joules { return a.unattributed }
 // exactly at t = SettledThrough().
 func (a *Attributor) SettledThrough() Seconds { return a.lastT }
 
+// Settle distributes energy up to time t (>= SettledThrough), extending
+// the attribution invariant to t even when no account begins or ends
+// there — how a drained workload's ledger closes over its idle tail.
+func (a *Attributor) Settle(t Seconds) { a.settle(t) }
+
 // settle distributes the interval [lastT, t): each account keeps what its
 // processes were charged directly (scaled by the meter's cooling/PSU
 // overhead, since the meter reading includes it), and the residual —

@@ -1,0 +1,89 @@
+package opt
+
+import (
+	"fmt"
+
+	"energydb/internal/table"
+)
+
+// This file renders a plan as a relation, so EXPLAIN can flow through
+// the session API and the wire protocol like any query result: one row
+// per operator in pre-order, the tree shape carried by indentation of
+// the op column.
+
+// ExplainSchema is the row shape of Plan.ExplainRows: operator (indented
+// by depth), a human-readable detail string, the operator's degree of
+// parallelism, the plan's CPU operating point, and the optimizer's
+// cumulative cost at that node in milliseconds and joules.
+var ExplainSchema = table.NewSchema("explain",
+	table.Col("op", table.String),
+	table.Col("detail", table.String),
+	table.Col("dop", table.Int64),
+	table.Col("pstate", table.String),
+	table.Col("est_ms", table.Float64),
+	table.Col("est_joules", table.Float64),
+)
+
+// ExplainRows renders the plan as rows of ExplainSchema. Costs are
+// cumulative per node (a node's cost includes its inputs, matching
+// Cost()), and every row carries the plan-wide P-state so the relation
+// is self-describing even after a slice.
+func (p *Plan) ExplainRows() *table.Table {
+	out := table.NewTable(ExplainSchema)
+	ps := p.PStateName
+	if ps == "" {
+		ps = "P0"
+	}
+	var walk func(n PhysNode, indent string)
+	row := func(indent, op, detail string, dop int, c Cost) {
+		out.AppendRow(
+			table.StrVal(indent+op),
+			table.StrVal(detail),
+			table.IntVal(int64(dop)),
+			table.StrVal(ps),
+			table.FloatVal(c.Seconds*1000),
+			table.FloatVal(c.Joules),
+		)
+	}
+	walk = func(n PhysNode, indent string) {
+		switch x := n.(type) {
+		case *PScan:
+			detail := fmt.Sprintf("%s (%s) rows≈%.0f", x.Alias, x.Variant.Name, x.card)
+			for _, pr := range x.Preds {
+				detail += fmt.Sprintf(" [%v]", pr)
+			}
+			row(indent, "scan", detail, x.MaxDOP(), x.cost)
+		case *PJoin:
+			row(indent, x.Algo+" join",
+				fmt.Sprintf("on L.%d = R.%d rows≈%.0f", x.LeftCol, x.RightCol, x.card),
+				x.MaxDOP(), x.cost)
+			walk(x.Left, indent+"  ")
+			walk(x.Right, indent+"  ")
+		case *PFilter:
+			detail := fmt.Sprintf("rows≈%.0f", x.card)
+			for _, pr := range x.Preds {
+				detail += fmt.Sprintf(" [%v]", pr)
+			}
+			row(indent, "filter", detail, x.MaxDOP(), x.cost)
+			walk(x.In, indent+"  ")
+		case *PProject:
+			row(indent, "project", fmt.Sprintf("%d exprs", len(x.Exprs)), x.MaxDOP(), x.cost)
+			walk(x.In, indent+"  ")
+		case *PAgg:
+			row(indent, "agg",
+				fmt.Sprintf("groups≈%.0f aggs=%d", x.card, len(x.Aggs)),
+				x.MaxDOP(), x.cost)
+			walk(x.In, indent+"  ")
+		case *PSort:
+			row(indent, "sort", fmt.Sprintf("keys=%d", len(x.Keys)), x.MaxDOP(), x.cost)
+			walk(x.In, indent+"  ")
+		case *PLimit:
+			row(indent, "limit", fmt.Sprintf("%d", x.N), x.MaxDOP(), x.In.Cost())
+			walk(x.In, indent+"  ")
+		default:
+			row(indent, fmt.Sprintf("%T", n), "", n.MaxDOP(), n.Cost())
+		}
+	}
+	walk(p.Root, "")
+	return out
+}
