@@ -23,19 +23,21 @@ func main() {
 	disks := flag.Int("disks", 0, "data disks on the small-server rig")
 	apd := flag.Float64("arrivals", 0, "mean statement arrivals per tenant-day")
 	deadline := flag.Float64("deadline", 0, "interactive latency budget, seconds")
+	abatch := flag.Float64("analytic-batch", 0, "batch window for analytic-join arrivals, seconds (0 = unbatched)")
 	embedded := flag.Bool("embedded", false, "drive the embedded Session API instead of the wire protocol")
 	out := flag.String("out", "", "write the trajectory JSON here (e.g. BENCH_workload.json)")
 	flag.Parse()
 
 	res, err := bench.RunWorkload(bench.WorkloadConfig{
-		Tenants:        *tenants,
-		Days:           *days,
-		SF:             *sf,
-		Seed:           *seed,
-		Disks:          *disks,
-		ArrivalsPerDay: *apd,
-		DeadlineSec:    *deadline,
-		Remote:         !*embedded,
+		Tenants:          *tenants,
+		Days:             *days,
+		SF:               *sf,
+		Seed:             *seed,
+		Disks:            *disks,
+		ArrivalsPerDay:   *apd,
+		DeadlineSec:      *deadline,
+		Remote:           !*embedded,
+		AnalyticBatchSec: *abatch,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "eesim: %v\n", err)

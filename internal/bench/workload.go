@@ -54,6 +54,14 @@ type WorkloadConfig struct {
 	ArrivalsPerDay float64
 	// DeadlineSec is the interactive class's latency budget (default 5).
 	DeadlineSec float64
+	// AnalyticBatchSec, when positive, quantises the analytic class's
+	// arrivals up to the next multiple of this window: the heavy join
+	// queries arrive in aligned bursts instead of spread across the
+	// diurnal curve, so the box races through a batch at high utilisation
+	// and sits at the idle floor between windows — the energy-proportional
+	// batching shape. Zero (the default) leaves arrivals un-batched.
+	// Batched arrivals that would land past the horizon are dropped.
+	AnalyticBatchSec float64
 	// Remote drives the workload through the wire protocol (a server and
 	// one client connection per tenant over net.Pipe); false drives the
 	// embedded Session API directly. Same statements either way.
@@ -142,6 +150,12 @@ func genArrivals(cfg WorkloadConfig) []arrival {
 			default:
 				a.class = classAnalytic
 				a.sql = tpch.Q3
+				if cfg.AnalyticBatchSec > 0 {
+					a.at = math.Ceil(at/cfg.AnalyticBatchSec) * cfg.AnalyticBatchSec
+					if a.at >= horizon {
+						continue
+					}
+				}
 			}
 			all = append(all, a)
 		}

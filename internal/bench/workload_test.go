@@ -84,3 +84,48 @@ func TestWorkloadEmbeddedRemoteBitIdentity(t *testing.T) {
 		t.Fatalf("trajectory differs: %+v vs %+v", emb, rem)
 	}
 }
+
+// TestAnalyticArrivalBatching: with a batch window set, every analytic
+// arrival lands exactly on a window boundary inside the horizon, the
+// other classes keep their diurnal spread, and the batched schedule is
+// deterministic for a fixed seed.
+func TestAnalyticArrivalBatching(t *testing.T) {
+	const window = 3600.0
+	cfg := WorkloadConfig{Tenants: 3, Days: 0.5, ArrivalsPerDay: 200,
+		Seed: 11, AnalyticBatchSec: window}
+	cfg.defaults()
+	arrivals := genArrivals(cfg)
+	horizon := cfg.Days * 86400
+	var analytic, offGrid int
+	for _, a := range arrivals {
+		if a.at >= horizon {
+			t.Fatalf("arrival at %.1f past horizon %.1f", a.at, horizon)
+		}
+		if a.class != classAnalytic {
+			if a.class != classReport && a.at != 0 && a.at == float64(int(a.at/window))*window {
+				offGrid++ // unbatched classes landing on the grid would be a miracle
+			}
+			continue
+		}
+		analytic++
+		if rem := a.at / window; rem != float64(int64(rem)) {
+			t.Fatalf("analytic arrival at %.3f not on the %.0fs grid", a.at, window)
+		}
+	}
+	if analytic == 0 {
+		t.Fatal("no analytic arrivals generated")
+	}
+	if offGrid != 0 {
+		t.Fatalf("%d non-analytic arrivals snapped to the grid", offGrid)
+	}
+
+	again := genArrivals(cfg)
+	if len(again) != len(arrivals) {
+		t.Fatalf("non-deterministic: %d vs %d arrivals", len(again), len(arrivals))
+	}
+	for i := range again {
+		if again[i] != arrivals[i] {
+			t.Fatalf("arrival %d differs across runs: %+v vs %+v", i, again[i], arrivals[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"regexp"
 	"testing"
 
@@ -112,10 +113,10 @@ func TestParallelAggEndToEnd(t *testing.T) {
 		float64(scanOnly.Elapsed)/float64(par.Elapsed))
 }
 
-// TestParallelJoinBuildEndToEnd: the join+group-by shape must fragment the
-// hash-join build under MinTime (the aggregation above the join stays
-// serial — only scan-rooted pipelines fragment), match the serial plan's
-// results exactly, and stay serial under MinEnergy.
+// TestParallelJoinBuildEndToEnd: the join+group-by shape must parallelise
+// the hash join under MinTime — via a fragmented build (build_dop), a
+// fragmented probe pipeline (probe_dop), or both — match the serial
+// plan's results exactly, and stay serial under MinEnergy.
 func TestParallelJoinBuildEndToEnd(t *testing.T) {
 	const query = `SELECT o_orderpriority, COUNT(*) AS n
 		FROM lineitem, orders WHERE l_orderkey = o_orderkey
@@ -134,14 +135,15 @@ func TestParallelJoinBuildEndToEnd(t *testing.T) {
 	par := measure(opt.MinTime, 8)
 	lean := measure(opt.MinEnergy, 8)
 
-	if ex := serial.Plan.Explain(); regexp.MustCompile(`build_dop=`).MatchString(ex) {
-		t.Fatalf("1-core plan fragmented the join build:\n%s", ex)
+	joinDop := regexp.MustCompile(`(build_dop|probe_dop)=`)
+	if ex := serial.Plan.Explain(); joinDop.MatchString(ex) {
+		t.Fatalf("1-core plan fragmented the join:\n%s", ex)
 	}
-	if ex := par.Plan.Explain(); !regexp.MustCompile(`build_dop=`).MatchString(ex) {
-		t.Fatalf("8-core MinTime plan kept the join build serial:\n%s", ex)
+	if ex := par.Plan.Explain(); !joinDop.MatchString(ex) {
+		t.Fatalf("8-core MinTime plan kept the join serial:\n%s", ex)
 	}
-	if ex := lean.Plan.Explain(); regexp.MustCompile(`build_dop=`).MatchString(ex) {
-		t.Fatalf("MinEnergy plan bought a parallel join build:\n%s", ex)
+	if ex := lean.Plan.Explain(); joinDop.MatchString(ex) {
+		t.Fatalf("MinEnergy plan bought a parallel join:\n%s", ex)
 	}
 
 	if par.Rows.Rows() != serial.Rows.Rows() || lean.Rows.Rows() != serial.Rows.Rows() {
@@ -167,4 +169,68 @@ func TestParallelJoinBuildEndToEnd(t *testing.T) {
 	t.Logf("serial %.5fs | parallel build %.5fs (%.2fx)",
 		float64(serial.Elapsed), float64(par.Elapsed),
 		float64(serial.Elapsed)/float64(par.Elapsed))
+}
+
+// TestParallelShapesBusyCoresAndLedger covers the acceptance criteria for
+// the two fragmented TPC-H shapes — scan→filter→agg (the filter runs
+// inside the scan fragments) and scan→probe→residual-filter→agg (the
+// probe and the cross-table residual run inside the fragments): under
+// 8-core MinTime each must fragment, realise concurrency on the shared
+// CPU (PeakBusyCores ≥ 2), beat its 1-core run, match its rows exactly,
+// and keep the attribution invariant — attributed plus unattributed
+// joules equal the wall meter within 1e-6 — on the parallel paths.
+func TestParallelShapesBusyCoresAndLedger(t *testing.T) {
+	shapes := []struct{ name, query string }{
+		{"filter_agg", `SELECT l_returnflag, COUNT(*) AS n FROM lineitem
+			WHERE l_quantity < 45 AND l_discount > 0.01
+			GROUP BY l_returnflag ORDER BY l_returnflag`},
+		{"probe_agg", `SELECT o_orderpriority, COUNT(*) AS n FROM lineitem, orders
+			WHERE l_orderkey = o_orderkey AND l_extendedprice < o_totalprice
+			GROUP BY o_orderpriority ORDER BY o_orderpriority`},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			measure := func(cores int) (*Result, *DB) {
+				db := openParDB(t, opt.MinTime, cores, 0, 1024)
+				res, err := db.Exec(sh.query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, db
+			}
+			serial, _ := measure(1)
+			par, db := measure(8)
+
+			if ex := par.Plan.Explain(); !regexp.MustCompile(`dop=`).MatchString(ex) {
+				t.Fatalf("8-core MinTime plan did not fragment:\n%s", ex)
+			}
+			if peak := db.Srv.CPU.PeakBusyCores(); peak < 2 {
+				t.Fatalf("peak busy cores = %d, want >= 2:\n%s", peak, par.Plan.Explain())
+			}
+			if par.Rows.Rows() != serial.Rows.Rows() {
+				t.Fatalf("group counts differ: %d vs serial %d", par.Rows.Rows(), serial.Rows.Rows())
+			}
+			for i := 0; i < serial.Rows.Rows(); i++ {
+				for c := 0; c < 2; c++ {
+					if serial.Rows.Column(c).Value(i).Compare(par.Rows.Column(c).Value(i)) != 0 {
+						t.Fatalf("row %d col %d: parallel %v vs serial %v",
+							i, c, par.Rows.Column(c).Value(i), serial.Rows.Column(c).Value(i))
+					}
+				}
+			}
+			if float64(par.Elapsed) >= float64(serial.Elapsed) {
+				t.Fatalf("parallel no faster: %.5fs vs %.5fs serial",
+					float64(par.Elapsed), float64(serial.Elapsed))
+			}
+			meter, unattr := db.Ledger()
+			attributed := float64(par.Attributed)
+			if diff := math.Abs(float64(meter) - (attributed + float64(unattr))); diff > 1e-6 {
+				t.Fatalf("ledger broken on parallel path: meter %.6f != attributed %.6f + unattributed %.6f (diff %.2e)",
+					float64(meter), attributed, float64(unattr), diff)
+			}
+			t.Logf("%s: serial %.5fs | parallel %.5fs (%.2fx), peak %d cores, ledger diff ok",
+				sh.name, float64(serial.Elapsed), float64(par.Elapsed),
+				float64(serial.Elapsed)/float64(par.Elapsed), db.Srv.CPU.PeakBusyCores())
+		})
+	}
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"energydb/internal/opt"
+)
+
+// PlanCache shares prepared statements across sessions: two sessions
+// preparing the same SQL get Stmts backed by one bound query and one
+// planSet, so the second session reuses every physical plan the first
+// one compiled (per admission grant). The server front door keeps one
+// cache per tenant — plan reuse must not leak placement or statistics
+// across tenant boundaries, and a tenant's epoch-invalidated entries
+// must not evict a neighbour's.
+//
+// Invalidation is the planSet's own: planFor compares the placement
+// epochs its plans were built on against the tables' current epochs and
+// drops stale plans before reuse, so a cached entry survives a table
+// rewrite — it just replans on next use. The cache itself never goes
+// stale; only its plans do.
+//
+// The simulation executes one event at a time, so the counters and map
+// need no locking.
+type PlanCache struct {
+	entries map[string]*sharedPrepared // by SQL text
+	hits    int64
+	misses  int64
+}
+
+// sharedPrepared is the session-independent part of a prepared
+// statement: the bound query and its compiled-plan cache.
+type sharedPrepared struct {
+	query *opt.Query
+	ps    *planSet
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: map[string]*sharedPrepared{}}
+}
+
+// Stats reports how many PrepareCached calls reused an entry vs bound
+// and planned from scratch.
+func (c *PlanCache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// PrepareCached is Prepare through a shared cache: a hit skips parsing,
+// binding, and — because the returned Stmt shares the entry's planSet —
+// optimization for every grant already planned by any session using the
+// same cache. The Stmt is still session-bound (its queries chain on this
+// session's statement stream); only the immutable query and the plan
+// cache are shared.
+func (s *Session) PrepareCached(c *PlanCache, query string) (*Stmt, error) {
+	if c == nil {
+		return s.Prepare(query)
+	}
+	if s.closed {
+		return nil, fmt.Errorf("core: session %d is closed", s.id)
+	}
+	if e, ok := c.entries[query]; ok {
+		c.hits++
+		return &Stmt{sess: s, text: query, query: e.query, ps: e.ps}, nil
+	}
+	st, err := s.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	c.misses++
+	c.entries[query] = &sharedPrepared{query: st.query, ps: st.ps}
+	return st, nil
+}

@@ -83,7 +83,7 @@ func (s *Session) Prepare(query string) (*Stmt, error) {
 // newStmt wraps a bound query; Prepare and the Exec wrapper share it.
 func newStmt(s *Session, text string, q *opt.Query) *Stmt {
 	return &Stmt{sess: s, text: text, query: q,
-		plans: map[int]*opt.Plan{}, epochs: map[string]int64{}}
+		ps: &planSet{plans: map[int]*opt.Plan{}, epochs: map[string]int64{}}}
 }
 
 // Explain plans a SELECT (with or without a leading EXPLAIN keyword)
@@ -137,11 +137,21 @@ func (s *Session) QueryAt(at float64, query string) (*Rows, error) {
 // Stmt is a prepared SELECT bound to its session. Physical plans are
 // compiled on demand per admission grant (the optimizer prices degrees of
 // parallelism against the granted cores — see opt.Env.Grant) and cached,
-// so a statement re-executed under the same grant plans once.
+// so a statement re-executed under the same grant plans once. Statements
+// produced by PrepareCached share one planSet across sessions, so any of
+// them re-executing under an already-seen grant reuses the plan.
 type Stmt struct {
-	sess   *Session
-	text   string
-	query  *opt.Query
+	sess  *Session
+	text  string
+	query *opt.Query
+	ps    *planSet
+}
+
+// planSet is a statement's compiled-plan cache: one physical plan per
+// admission grant, all built against the same placement epochs. It is the
+// unit PrepareCached shares between sessions; the simulation runs one
+// event at a time, so no locking is needed.
+type planSet struct {
 	plans  map[int]*opt.Plan // by granted cores
 	epochs map[string]int64  // placement epochs the cached plans were built on
 }
@@ -214,16 +224,16 @@ func (st *Stmt) planFor(granted int, budget float64) (*opt.Plan, error) {
 				return nil, err
 			}
 		}
-		if e := db.epochs[rel]; st.epochs[rel] != e {
-			st.epochs[rel] = e
+		if e := db.epochs[rel]; st.ps.epochs[rel] != e {
+			st.ps.epochs[rel] = e
 			stale = true
 		}
 	}
 	if stale {
-		st.plans = map[int]*opt.Plan{}
+		st.ps.plans = map[int]*opt.Plan{}
 	}
 	if budget <= 0 {
-		if p, ok := st.plans[granted]; ok {
+		if p, ok := st.ps.plans[granted]; ok {
 			return p, nil
 		}
 	}
@@ -234,7 +244,7 @@ func (st *Stmt) planFor(granted int, budget float64) (*opt.Plan, error) {
 		return nil, err
 	}
 	if budget <= 0 {
-		st.plans[granted] = p
+		st.ps.plans[granted] = p
 	}
 	return p, nil
 }
@@ -267,8 +277,9 @@ type Rows struct {
 
 	err      error
 	plan     *opt.Plan
-	nextPlan *opt.Plan // wider plan accepted through a re-grant offer
-	restart  bool      // restart the pipeline on nextPlan at the next batch boundary
+	nextPlan *opt.Plan     // wider plan accepted through a re-grant offer
+	restart  bool          // restart the pipeline on nextPlan at the next batch boundary
+	widener  *exec.Widener // live pipeline's in-place widening hook
 	schema   *table.Schema
 	acct     *energy.Account
 	batches  []*table.Batch
@@ -582,6 +593,7 @@ var errRestartPlan = errors.New("core: pipeline restarting on a wider grant")
 // runQuery to re-execute on the wider plan.
 func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
 	ctx := db.NewCtx(p)
+	r.widener = ctx.Widen
 	op, err := plan.Build(ctx)
 	if err != nil {
 		return err
@@ -617,15 +629,24 @@ func (db *DB) executeRows(p *sim.Proc, r *Rows, plan *opt.Plan) error {
 
 // widenOffer is the re-grant callback: a completion left free cores with
 // nothing queued, and the admission controller offers them to this
-// running query. The query accepts if a plan at the wider grant would
-// actually fan out wider and it has not emitted any rows yet — the
-// pipeline restart point is "before the first batch", which keeps the
-// result bit-identical to the narrow run (deterministic plans at every
-// DOP) at the cost of redoing the narrow work already billed to this
-// query's account. It returns the cores accepted; the controller moves
-// them onto the ticket's grant.
+// running query. The cheap path widens the running pipeline in place: a
+// fragmented exchange absorbs the cores by spawning extra fragments
+// against its live morsel dispenser, so no work is redone and the result
+// is unchanged (fragments only change which worker claims which morsel).
+// Only when no running exchange can absorb the cores does the query fall
+// back to a full replan-and-restart — and that restart point is "before
+// the first batch", which keeps the result bit-identical to the narrow
+// run (deterministic plans at every DOP) at the cost of redoing the
+// narrow work already billed to this query's account. It returns the
+// cores accepted; the controller moves them onto the ticket's grant.
 func (db *DB) widenOffer(r *Rows, free int) int {
-	if r.done || r.cancel || r.restart || r.err != nil || r.rowCount > 0 || free <= 0 {
+	if r.done || r.cancel || r.restart || r.err != nil || free <= 0 {
+		return 0
+	}
+	if n := r.widener.Offer(free); n > 0 {
+		return n
+	}
+	if r.rowCount > 0 {
 		return 0
 	}
 	// Replanning re-places dirty tables; declining is safer than placing

@@ -62,10 +62,11 @@ func TestIdleFloorAwareMinEnergyMatchesWallMeter(t *testing.T) {
 
 // regrantPair runs a long aggregation and a short count concurrently on
 // the 8-core rig (fair-share splits the box 4/4) and returns the long
-// query's result fingerprint, its executed plan width, and the re-grant
+// query's result fingerprint, its elapsed seconds, and the re-grant
 // count. With ReGrant on, the short query's completion offers its cores
-// back and the aggregation restarts wider.
-func regrantPair(t *testing.T, regrant bool) (fp string, width int, regrants int64) {
+// back and the aggregation widens mid-run: the live pipeline spawns
+// extra fragments against its morsel dispenser instead of restarting.
+func regrantPair(t *testing.T, regrant bool) (fp string, elapsed float64, regrants int64) {
 	t.Helper()
 	db, err := Open(Config{
 		Server:    parallelRig(),
@@ -111,31 +112,32 @@ func regrantPair(t *testing.T, regrant bool) (fp string, width int, regrants int
 		fmt.Fprintf(&b, "%s|%d|%.9f\n", res.Rows.Column(0).S[i],
 			res.Rows.Column(1).I[i], res.Rows.Column(2).F[i])
 	}
-	return b.String(), res.Plan.MaxDOP(), db.SchedStats().Regrants
+	return b.String(), float64(res.Elapsed), db.SchedStats().Regrants
 }
 
 // TestReGrantWidensAndPreservesResults: the widened run must actually
-// widen (re-grants observed, executed plan wider than the 4-core
-// admission split) and produce bit-identical rows to the narrow run.
+// widen (re-grants observed, and the extra fragments absorbed in place
+// must make the long query finish sooner than the narrow run) and
+// produce bit-identical rows to the narrow run.
 func TestReGrantWidensAndPreservesResults(t *testing.T) {
-	narrowFP, narrowWidth, narrowRegrants := regrantPair(t, false)
-	wideFP, wideWidth, wideRegrants := regrantPair(t, true)
+	narrowFP, narrowElapsed, narrowRegrants := regrantPair(t, false)
+	wideFP, wideElapsed, wideRegrants := regrantPair(t, true)
 
 	if narrowRegrants != 0 {
 		t.Fatalf("ReGrant off but %d regrants recorded", narrowRegrants)
 	}
 	if wideRegrants == 0 {
-		t.Fatalf("ReGrant on but no widening happened (narrow width %d, wide width %d)",
-			narrowWidth, wideWidth)
+		t.Fatalf("ReGrant on but no widening happened (narrow %.5fs, wide %.5fs)",
+			narrowElapsed, wideElapsed)
 	}
-	if wideWidth <= narrowWidth {
-		t.Fatalf("widened plan uses %d cores, narrow used %d", wideWidth, narrowWidth)
+	if wideElapsed >= narrowElapsed {
+		t.Fatalf("widened run no faster: %.5fs vs %.5fs narrow", wideElapsed, narrowElapsed)
 	}
 	if wideFP != narrowFP {
 		t.Fatalf("re-grant changed the result:\nnarrow:\n%swide:\n%s", narrowFP, wideFP)
 	}
-	t.Logf("narrow width %d, widened width %d after %d regrants; results bit-identical",
-		narrowWidth, wideWidth, wideRegrants)
+	t.Logf("narrow %.5fs, widened %.5fs (%.2fx) after %d regrants; results bit-identical",
+		narrowElapsed, wideElapsed, narrowElapsed/wideElapsed, wideRegrants)
 }
 
 // TestDVFSGovernorActuatesPState: a DVFS-enabled MinEnergy query whose

@@ -60,6 +60,12 @@ type HashAgg struct {
 	GroupBy []int
 	Aggs    []AggSpec
 
+	// Spawn, when set, constructs one more fragment over Queue so a
+	// mid-pipeline re-grant can widen the running accumulation barrier
+	// (see Ctx.Widen); the late worker gets its own partial table, merged
+	// with the rest after the barrier.
+	Spawn func() (Operator, error)
+
 	schema *table.Schema
 	ins    *table.Schema // input schema (In's or the fragments')
 	tab    *aggTable     // merged result after Open
@@ -150,10 +156,24 @@ func (h *HashAgg) Open(ctx *Ctx) error {
 		for i := range locals {
 			locals[i] = newAggTable(h.ins, h.GroupBy, h.Aggs)
 		}
-		if err := RunFragments(ctx, "hashagg", h.Frags, func(w int, wctx *Ctx, b *table.Batch) error {
+		sink := func(w int, wctx *Ctx, b *table.Batch) error {
 			locals[w].absorb(wctx, b)
 			return nil
-		}); err != nil {
+		}
+		var spawn func(w int) (Operator, error)
+		if h.Spawn != nil {
+			spawn = func(w int) (Operator, error) {
+				op, err := h.Spawn()
+				if err != nil || op == nil {
+					return nil, err
+				}
+				for len(locals) <= w {
+					locals = append(locals, newAggTable(h.ins, h.GroupBy, h.Aggs))
+				}
+				return op, nil
+			}
+		}
+		if err := RunFragmentsWiden(ctx, "hashagg", h.Frags, sink, spawn, h.Queue); err != nil {
 			return err
 		}
 		tab, err := mergePartitioned(ctx, h.ins, h.GroupBy, h.Aggs, locals)

@@ -150,6 +150,100 @@ func BenchmarkHashJoinProbe(b *testing.B) {
 	b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
 }
 
+// prefusionArith is the pre-fusion reference evaluator: node-at-a-time
+// with a fresh output vector per node per batch, exactly what
+// Arith.EvalInto did before the fusion pass and the scratch pool. It
+// anchors the before/after allocs/op comparison in BenchmarkFusedExpr.
+type prefusionArith struct {
+	Op   ArithOp
+	L, R Scalar
+}
+
+func (e *prefusionArith) Type(s *table.Schema) table.Type {
+	return (&Arith{Op: e.Op, L: e.L, R: e.R}).Type(s)
+}
+
+func (e *prefusionArith) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
+	ctx.ChargeRows(b.Rows(), ctx.Costs.ProjectCyclesPerRow)
+	l := e.L.EvalInto(ctx, b)
+	r := e.R.EvalInto(ctx, b)
+	n := b.PhysRows()
+	out := table.NewVector(e.Type(b.Schema), n)
+	if out.Type.Physical() == table.PhysFloat {
+		for i := 0; i < n; i++ {
+			out.F = append(out.F, arithF(e.Op, numAsF(l, i), numAsF(r, i)))
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out.I = append(out.I, arithI(e.Op, l.I[i], r.I[i]))
+	}
+	return out
+}
+
+func (e *prefusionArith) String() string { return "prefusion" }
+
+// prefusionConst is the pre-fusion Const: a fresh constant vector per
+// batch.
+type prefusionConst struct{ Val table.Value }
+
+func (e *prefusionConst) Type(*table.Schema) table.Type { return e.Val.Type }
+
+func (e *prefusionConst) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
+	n := b.PhysRows()
+	v := table.NewVector(e.Val.Type, n)
+	v.AppendN(e.Val, n)
+	return v
+}
+
+func (e *prefusionConst) String() string { return e.Val.String() }
+
+// BenchmarkFusedExpr drains a projection computing (v*2 + k) / (v + 1)
+// over 64k rows (16 batches), operator built once and re-drained per
+// iteration. "fused" is the compiled single-kernel path NewProject
+// produces for pure arithmetic trees; "fallback" is today's
+// node-at-a-time path with pooled scratch (forced by an opaque child);
+// "prefusion" is the pre-PR evaluator allocating per node per batch.
+// allocs/op fused vs prefusion is the headline.
+func BenchmarkFusedExpr(b *testing.B) {
+	tab := benchInts(benchRows)
+	ident := func(s Scalar) Scalar { return s }
+	opaque := func(s Scalar) Scalar { return &opaqueScalar{s} }
+	modern := func(wrap func(Scalar) Scalar) Scalar {
+		return &Arith{Op: Div,
+			L: &Arith{Op: Add,
+				L: &Arith{Op: Mul, L: wrap(&ColRef{Col: 1}), R: &Const{Val: table.IntVal(2)}},
+				R: wrap(&ColRef{Col: 0})},
+			R: &Arith{Op: Add, L: wrap(&ColRef{Col: 1}), R: &Const{Val: table.IntVal(1)}}}
+	}
+	prefusion := &prefusionArith{Op: Div,
+		L: &prefusionArith{Op: Add,
+			L: &prefusionArith{Op: Mul, L: &ColRef{Col: 1}, R: &prefusionConst{Val: table.IntVal(2)}},
+			R: &ColRef{Col: 0}},
+		R: &prefusionArith{Op: Add, L: &ColRef{Col: 1}, R: &prefusionConst{Val: table.IntVal(1)}}}
+	for _, m := range []struct {
+		name string
+		expr Scalar
+	}{{"fused", modern(ident)}, {"fallback", modern(opaque)}, {"prefusion", prefusion}} {
+		b.Run(m.name, func(b *testing.B) {
+			ctx := benchCtx()
+			p := NewProject(&Values{Tab: tab}, []Scalar{m.expr}, []string{"x"})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := RowCount(ctx, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n != benchRows {
+					b.Fatalf("rows = %d", n)
+				}
+			}
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
+}
+
 // BenchmarkSortInt sorts 64k rows by the random int64 payload column.
 func BenchmarkSortInt(b *testing.B) {
 	tab := benchInts(benchRows)
@@ -322,6 +416,92 @@ func BenchmarkParallelJoinBuild(b *testing.B) {
 					frags, q := colScanFrags(st, []int{0, 1}, []int{0, 1}, nil, dop, 0)
 					j := NewPartitionedHashJoin(frags, q, &Values{Tab: probeT}, 0, 0, dop)
 					n, err := RowCount(ctx, j)
+					if err != nil {
+						b.Error(err)
+					}
+					if n == 0 {
+						b.Error("no matches")
+					}
+				})
+				b.StartTimer()
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				simSecs = eng.Now()
+			}
+			b.ReportMetric(simSecs*1e3, "sim_ms")
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
+}
+
+// BenchmarkParallelFilterPipeline measures the fragmented filter pipeline
+// (scan fragments → per-fragment Filter → Parallel merge → serial agg) at
+// DOP 1, 4 and 8 — the scan→filter→agg shape the optimizer sweeps.
+func BenchmarkParallelFilterPipeline(b *testing.B) {
+	tab := benchInts(benchRows)
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, cpu, vol := benchPipelineRig()
+				st, err := PlaceColumnMajor(tab, vol, 1, 4096, rawCodecs(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Go("query", func(p *sim.Proc) {
+					ctx := NewCtx(p, cpu)
+					frags, q := colScanFrags(st, []int{0, 1}, []int{0, 1}, nil, dop, 0)
+					for i := range frags {
+						frags[i] = &Filter{In: frags[i],
+							Pred: &ColConst{Col: 1, Op: Lt, Val: table.IntVal(500)}}
+					}
+					agg := NewHashAgg(NewParallel(frags, q), nil,
+						[]AggSpec{{Func: Count, As: "n"}, {Func: Sum, Col: 1, As: "s"}})
+					if _, err := RowCount(ctx, agg); err != nil {
+						b.Error(err)
+					}
+				})
+				b.StartTimer()
+				if err := eng.Run(); err != nil {
+					b.Fatal(err)
+				}
+				simSecs = eng.Now()
+			}
+			b.ReportMetric(simSecs*1e3, "sim_ms")
+			b.ReportMetric(float64(benchRows)*float64(b.N)/float64(b.Elapsed().Seconds())/1e6, "Mrows/s")
+		})
+	}
+}
+
+// BenchmarkParallelProbe measures the fragmented probe pipeline (scan
+// fragments → Probers over one shared build → Parallel merge) at probe
+// DOP 1, 4 and 8 — the scan→probe→agg shape. The build side is small so
+// the probe stream is what's measured.
+func BenchmarkParallelProbe(b *testing.B) {
+	probeT := benchInts(benchRows) // probe side: 64k rows, what's measured
+	build := benchInts(1 << 12)    // small build
+	for _, dop := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("dop%d", dop), func(b *testing.B) {
+			b.ReportAllocs()
+			var simSecs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, cpu, vol := benchPipelineRig()
+				st, err := PlaceColumnMajor(probeT, vol, 1, 4096, rawCodecs(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng.Go("query", func(p *sim.Proc) {
+					ctx := NewCtx(p, cpu)
+					frags, q := colScanFrags(st, []int{0, 1}, []int{0, 1}, nil, dop, 0)
+					sb := NewSharedBuild(&Values{Tab: build}, nil, nil, 0, 1)
+					for i := range frags {
+						frags[i] = NewProber(sb, frags[i], 0)
+					}
+					n, err := RowCount(ctx, NewParallel(frags, q))
 					if err != nil {
 						b.Error(err)
 					}

@@ -47,12 +47,28 @@ type fragDone struct {
 // and returns the first error in completion order. Fragments sharing a
 // Morsels dispenser must have it Reset by the caller beforehand.
 func RunFragments(ctx *Ctx, name string, frags []Operator, sink func(w int, wctx *Ctx, b *table.Batch) error) error {
+	return runFragments(ctx, name, frags, sink, nil, nil)
+}
+
+// RunFragmentsWiden is RunFragments plus mid-run widening: while the
+// barrier is live and the shared queue still has unclaimed morsels, a
+// re-grant offer (Ctx.Widen) spawns spawn(w) as one more fragment worker
+// against the live dispenser. spawn sees the new worker's index w before
+// the worker starts, so the caller grows per-worker sink state (e.g. a
+// fresh partial aggregation table) first. Results are unchanged by
+// construction: fragment count never affects the merged result (see
+// CONTRACT.md), widening only changes which core drains which morsel.
+func RunFragmentsWiden(ctx *Ctx, name string, frags []Operator, sink func(w int, wctx *Ctx, b *table.Batch) error, spawn func(w int) (Operator, error), queue *Morsels) error {
+	return runFragments(ctx, name, frags, sink, spawn, queue)
+}
+
+func runFragments(ctx *Ctx, name string, frags []Operator, sink func(w int, wctx *Ctx, b *table.Batch) error, spawn func(w int) (Operator, error), queue *Morsels) error {
 	eng := ctx.P.Engine()
 	done := sim.NewMailbox[fragDone](eng, name+":done")
 	stop := false
-	for i := range frags {
-		i, frag := i, frags[i]
-		eng.Go(fmt.Sprintf("%s:w%d", name, i), func(wp *sim.Proc) {
+	spawned := 0
+	start := func(i int, frag Operator) *sim.Proc {
+		return eng.Go(fmt.Sprintf("%s:w%d", name, i), func(wp *sim.Proc) {
 			wctx := *ctx
 			wctx.P = wp
 			err := frag.Open(&wctx)
@@ -80,11 +96,42 @@ func RunFragments(ctx *Ctx, name string, frags []Operator, sink func(w int, wctx
 			done.Put(fragDone{w: i, err: err})
 		})
 	}
+	for _, frag := range frags {
+		start(spawned, frag)
+		spawned++
+	}
+	registered := false
+	if spawn != nil && queue != nil && ctx.Widen != nil {
+		// Widening applies from scheduler event context, so new workers
+		// take their attribution owner from the coordinator, captured here.
+		owner := ctx.P.Owner()
+		registered = ctx.Widen.Register(func(extra int) int {
+			accepted := 0
+			for accepted < extra && !stop && queue.Remaining() > 0 {
+				frag, err := spawn(spawned)
+				if err != nil || frag == nil {
+					break
+				}
+				p := start(spawned, frag)
+				p.SetOwner(owner)
+				spawned++
+				accepted++
+			}
+			return accepted
+		})
+	}
+	// The coordinator is parked in done.Get whenever a widening offer can
+	// fire, so spawned only grows while the loop below still has workers to
+	// wait for; once all workers have exited the queue is drained and
+	// further offers are declined.
 	var first error
-	for n := 0; n < len(frags); n++ {
+	for fin := 0; fin < spawned; fin++ {
 		if d := done.Get(ctx.P); d.err != nil && first == nil {
 			first = d.err
 		}
+	}
+	if registered {
+		ctx.Widen.Deregister()
 	}
 	return first
 }

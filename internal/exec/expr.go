@@ -316,17 +316,26 @@ func (e *ColRef) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector { return b.Vec
 func (e *ColRef) String() string { return fmt.Sprintf("col%d", e.Col) }
 
 // Const produces a constant vector.
-type Const struct{ Val table.Value }
+type Const struct {
+	Val table.Value
+
+	scratch *table.Vector
+}
 
 // Type implements Scalar.
 func (e *Const) Type(*table.Schema) table.Type { return e.Val.Type }
 
-// EvalInto implements Scalar.
+// EvalInto implements Scalar. The output vector is node-local scratch,
+// reused per batch (valid until the producer's next Next, per the
+// operator contract).
 func (e *Const) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
 	n := b.PhysRows()
-	v := table.NewVector(e.Val.Type, n)
-	v.AppendN(e.Val, n)
-	return v
+	if e.scratch == nil {
+		e.scratch = scratchVec(ctx, e.Val.Type, n)
+	}
+	e.scratch.Reset()
+	e.scratch.AppendN(e.Val, n)
+	return e.scratch
 }
 
 func (e *Const) String() string { return e.Val.String() }
@@ -351,6 +360,8 @@ func (o ArithOp) String() string {
 type Arith struct {
 	Op   ArithOp
 	L, R Scalar
+
+	scratch *table.Vector
 }
 
 // Type implements Scalar.
@@ -365,13 +376,19 @@ func (e *Arith) Type(s *table.Schema) table.Type {
 	return lt
 }
 
-// EvalInto implements Scalar.
+// EvalInto implements Scalar. This is the node-at-a-time fallback path
+// (FuseScalar compiles whole trees out of it); its output vector is
+// node-local scratch reused per batch.
 func (e *Arith) EvalInto(ctx *Ctx, b *table.Batch) *table.Vector {
 	ctx.ChargeRows(b.Rows(), ctx.Costs.ProjectCyclesPerRow)
 	l := e.L.EvalInto(ctx, b)
 	r := e.R.EvalInto(ctx, b)
 	n := b.PhysRows()
-	out := table.NewVector(e.Type(b.Schema), n)
+	if e.scratch == nil {
+		e.scratch = scratchVec(ctx, e.Type(b.Schema), n)
+	}
+	e.scratch.Reset()
+	out := e.scratch
 	if out.Type.Physical() == table.PhysFloat {
 		for i := 0; i < n; i++ {
 			out.F = append(out.F, arithF(e.Op, numAsF(l, i), numAsF(r, i)))

@@ -28,7 +28,7 @@ func TestHashJoinMemBudgetTyped(t *testing.T) {
 		if !errors.Is(err, fault.ErrMemBudget) {
 			t.Errorf("error not typed ErrMemBudget: %v", err)
 		}
-		if j.buildB != nil || j.buildBytes != 0 || j.htI != nil || j.htF != nil || j.htS != nil {
+		if j.bs != nil || j.MemBytes() != 0 {
 			t.Error("partial build state not freed after budget failure")
 		}
 	})

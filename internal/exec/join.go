@@ -1,9 +1,6 @@
 package exec
 
 import (
-	"fmt"
-
-	"energydb/internal/fault"
 	"energydb/internal/table"
 )
 
@@ -60,15 +57,9 @@ type HashJoin struct {
 	ProbeKey   int // column index in Probe's schema
 	Partitions int // build hash partitions, rounded up to a power of two; <= 1 builds one table
 
-	schema     *table.Schema
-	nparts     uint32
-	htI        []map[int64][]int32 // per partition; values are global buildB rows
-	htF        []map[float64][]int32
-	htS        []map[string][]int32
-	buildB     *table.Batch // materialised build side (partitions concatenated)
-	buildBytes int64
-	bsel, psel []int32      // reusable gather index scratch
-	out        *table.Batch // reusable output batch
+	schema *table.Schema
+	bs     *buildState // immutable build result (see probe.go)
+	pc     probeCursor // streaming probe state shared with Prober
 }
 
 // NewHashJoin builds a serial hash join of two operators on single key
@@ -100,7 +91,12 @@ func (j *HashJoin) Schema() *table.Schema { return j.schema }
 
 // MemBytes reports the hash-table working set after Open; the optimizer's
 // energy model charges DRAM power for it.
-func (j *HashJoin) MemBytes() int64 { return j.buildBytes }
+func (j *HashJoin) MemBytes() int64 {
+	if j.bs == nil {
+		return 0
+	}
+	return j.bs.bytes
+}
 
 // buildSchema is the build side's input schema.
 func (j *HashJoin) buildSchema() *table.Schema {
@@ -177,140 +173,20 @@ func (bp *buildPartitioner) absorb(ctx *Ctx, b *table.Batch) {
 	}
 }
 
-// Open implements Operator: it drains the build side — inline for the
-// serial path, under the barrier exchange for the fragmented one — then
-// builds the per-partition typed hash tables (concurrently when the build
-// was fragmented) and opens the probe.
+// Open implements Operator: it runs the build — inline for the serial
+// path, under the barrier exchange for the fragmented one (see
+// runJoinBuild in probe.go) — then opens the probe. A failed build frees
+// its partial state before surfacing, so an aborted query does not pin
+// the materialised build side for the Rows' lifetime.
 func (j *HashJoin) Open(ctx *Ctx) error {
-	bschema := j.buildSchema()
-	nparts := 1
-	if j.Partitions > 1 {
-		nparts = ceilPow2(j.Partitions)
+	bs, err := runJoinBuild(ctx, j.buildSchema(), j.Build, j.BuildFrags, j.BuildQueue, j.BuildKey, j.Partitions)
+	if err != nil {
+		j.bs = nil
+		return err
 	}
-	j.nparts = uint32(nparts)
-
-	// Phase 1: drain build pipelines into per-worker partitioned row stores.
-	var locals []*buildPartitioner
-	if j.BuildFrags == nil {
-		bp := newBuildPartitioner(bschema, j.BuildKey, j.nparts)
-		if err := j.Build.Open(ctx); err != nil {
-			return err
-		}
-		for {
-			b, err := j.Build.Next(ctx)
-			if err != nil {
-				return err
-			}
-			if b == nil {
-				break
-			}
-			bp.absorb(ctx, b)
-		}
-		if err := j.Build.Close(ctx); err != nil {
-			return err
-		}
-		locals = []*buildPartitioner{bp}
-	} else {
-		if j.BuildQueue != nil {
-			j.BuildQueue.Reset()
-		}
-		locals = make([]*buildPartitioner, len(j.BuildFrags))
-		for i := range locals {
-			locals[i] = newBuildPartitioner(bschema, j.BuildKey, j.nparts)
-		}
-		if err := RunFragments(ctx, "hashjoin:build", j.BuildFrags, func(w int, wctx *Ctx, b *table.Batch) error {
-			locals[w].absorb(wctx, b)
-			return nil
-		}); err != nil {
-			return err
-		}
-	}
-
-	// Phase 2: concatenate the workers' shares of each partition (worker
-	// order within a partition, partitions in order) into one build batch,
-	// recording every partition's global row span. The serial path (one
-	// worker, one partition) adopts the materialised rows as-is — absorb
-	// already copied them once.
-	j.buildBytes = 0
-	spans := make([][2]int, nparts)
-	if len(locals) == 1 && nparts == 1 {
-		j.buildB = locals[0].parts[0]
-		locals[0].parts[0] = nil
-		spans[0] = [2]int{0, j.buildB.Rows()}
-	} else {
-		j.buildB = table.NewBatch(bschema, 0)
-		for p := 0; p < nparts; p++ {
-			lo := j.buildB.Rows()
-			for _, l := range locals {
-				j.buildB.AppendBatch(l.parts[p])
-				l.parts[p] = nil
-			}
-			spans[p] = [2]int{lo, j.buildB.Rows()}
-		}
-	}
-	for _, l := range locals {
-		j.buildBytes += l.bytes
-	}
-	if ctx.MemBudgetBytes > 0 && j.buildBytes > ctx.MemBudgetBytes {
-		// Free the partial build state before failing so an aborted query
-		// does not pin the materialised build side for the Rows' lifetime.
-		over := j.buildBytes
-		j.buildB, j.buildBytes = nil, 0
-		j.htI, j.htF, j.htS = nil, nil, nil
-		return fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d): %w",
-			over, ctx.MemBudgetBytes, fault.ErrMemBudget)
-	}
-
-	// Phase 3: build each partition's typed hash table over its row span —
-	// one process per partition when the build was fragmented, inline for
-	// the serial plan. Values are global buildB row indexes, so the probe
-	// and output paths are partition-agnostic.
-	kv := j.buildB.Vecs[j.BuildKey]
-	j.htI, j.htF, j.htS = nil, nil, nil
-	phys := kv.Type.Physical()
-	switch phys {
-	case table.PhysInt:
-		j.htI = make([]map[int64][]int32, nparts)
-	case table.PhysFloat:
-		j.htF = make([]map[float64][]int32, nparts)
-	default:
-		j.htS = make([]map[string][]int32, nparts)
-	}
-	buildPart := func(p int) {
-		lo, hi := spans[p][0], spans[p][1]
-		switch phys {
-		case table.PhysInt:
-			ht := make(map[int64][]int32, hi-lo)
-			for i := lo; i < hi; i++ {
-				ht[kv.I[i]] = append(ht[kv.I[i]], int32(i))
-			}
-			j.htI[p] = ht
-		case table.PhysFloat:
-			ht := make(map[float64][]int32, hi-lo)
-			for i := lo; i < hi; i++ {
-				ht[kv.F[i]] = append(ht[kv.F[i]], int32(i))
-			}
-			j.htF[p] = ht
-		default:
-			ht := make(map[string][]int32, hi-lo)
-			for i := lo; i < hi; i++ {
-				ht[kv.S[i]] = append(ht[kv.S[i]], int32(i))
-			}
-			j.htS[p] = ht
-		}
-	}
-	if j.BuildFrags != nil && nparts > 1 {
-		if err := ParDo(ctx, "hashjoin:tables", nparts, func(p int, wctx *Ctx) error {
-			buildPart(p)
-			return nil
-		}); err != nil {
-			return err
-		}
-	} else {
-		for p := 0; p < nparts; p++ {
-			buildPart(p)
-		}
-	}
+	j.bs = bs
+	j.pc = probeCursor{in: j.Probe, key: j.ProbeKey, schema: j.schema,
+		bsel: j.pc.bsel, psel: j.pc.psel, out: j.pc.out}
 	return j.Probe.Open(ctx)
 }
 
@@ -361,65 +237,13 @@ func probePartHT[T comparable](hts []map[T][]int32, hash func(T) uint32, mask ui
 
 // Next implements Operator.
 func (j *HashJoin) Next(ctx *Ctx) (*table.Batch, error) {
-	for {
-		pb, err := j.Probe.Next(ctx)
-		if err != nil {
-			return nil, err
-		}
-		if pb == nil {
-			return nil, nil
-		}
-		ctx.ChargeRows(pb.Rows(), ctx.Costs.HashProbeCyclesPerRow)
-		bsel, psel := j.bsel[:0], j.psel[:0]
-		kv := pb.Vecs[j.ProbeKey]
-		mask := j.nparts - 1
-		switch kv.Type.Physical() {
-		case table.PhysInt:
-			if j.nparts == 1 {
-				bsel, psel = probeHT(j.htI[0], kv.I, pb.Sel, bsel, psel)
-			} else {
-				bsel, psel = probePartHT(j.htI, hashInt64, mask, kv.I, pb.Sel, bsel, psel)
-			}
-		case table.PhysFloat:
-			if j.nparts == 1 {
-				bsel, psel = probeHT(j.htF[0], kv.F, pb.Sel, bsel, psel)
-			} else {
-				bsel, psel = probePartHT(j.htF, hashFloat64, mask, kv.F, pb.Sel, bsel, psel)
-			}
-		default:
-			if j.nparts == 1 {
-				bsel, psel = probeHT(j.htS[0], kv.S, pb.Sel, bsel, psel)
-			} else {
-				bsel, psel = probePartHT(j.htS, hashString, mask, kv.S, pb.Sel, bsel, psel)
-			}
-		}
-		j.bsel, j.psel = bsel, psel
-		if len(psel) == 0 {
-			// Keep pulling probe batches until something matches or EOF.
-			continue
-		}
-		ctx.ChargeRows(len(psel), ctx.Costs.JoinOutputCyclesPerRow)
-		if j.out == nil {
-			j.out = table.NewBatch(j.schema, len(psel))
-		}
-		j.out.Reset()
-		nb := len(j.buildB.Vecs)
-		for c, v := range j.buildB.Vecs {
-			j.out.Vecs[c].AppendGather(v, bsel)
-		}
-		for c, v := range pb.Vecs {
-			j.out.Vecs[nb+c].AppendGather(v, psel)
-		}
-		j.out.SetRows(len(psel))
-		return j.out, nil
-	}
+	return j.pc.next(ctx, j.bs)
 }
 
 // Close implements Operator.
 func (j *HashJoin) Close(ctx *Ctx) error {
-	j.htI, j.htF, j.htS = nil, nil, nil
-	j.buildB = nil
-	j.out = nil
+	j.bs = nil
+	j.pc.out = nil
 	return j.Probe.Close(ctx)
 }
 

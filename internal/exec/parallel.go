@@ -69,6 +69,15 @@ func (m *Morsels) Claim() (lo, hi int, ok bool) {
 // Reset makes all blocks claimable again (for operator re-open).
 func (m *Morsels) Reset() { m.next = 0 }
 
+// Remaining reports how many blocks are still unclaimed — the widening
+// hook uses it to decline extra workers when the scan is nearly done.
+func (m *Morsels) Remaining() int {
+	if rem := m.total - m.next; rem > 0 {
+		return rem
+	}
+	return 0
+}
+
 // parItem is one message from a scan fragment to the merge point.
 type parItem struct {
 	batch *table.Batch // nil on done/error items
@@ -104,13 +113,20 @@ type Parallel struct {
 	Frags []Operator // fragments sharing one Morsels dispenser
 	Queue *Morsels   // the shared dispenser; reset on Open
 
-	schema  *table.Schema
-	out     *sim.Mailbox[parItem]
-	acks    []*sim.Mailbox[bool] // per worker: true = consumed, false = cancel
-	live    int                  // workers not yet exited
-	last    int                  // worker owed an ack at the next Next, or -1
-	started bool
-	failed  error
+	// Spawn, when set, constructs one more fragment over Queue, letting a
+	// mid-pipeline re-grant widen the running merge (see Ctx.Widen): the
+	// new fragment claims morsels from the same live dispenser, so the
+	// result is unchanged — only more cores race through the remainder.
+	Spawn func() (Operator, error)
+
+	schema     *table.Schema
+	out        *sim.Mailbox[parItem]
+	acks       []*sim.Mailbox[bool] // per worker: true = consumed, false = cancel
+	live       int                  // workers not yet exited
+	last       int                  // worker owed an ack at the next Next, or -1
+	started    bool
+	failed     error
+	registered bool // holding the Ctx.Widen slot
 }
 
 // NewParallel builds the merge over fragments that share queue. The
@@ -145,43 +161,81 @@ func (s *Parallel) start(ctx *Ctx) {
 	s.started = true
 	eng := ctx.P.Engine()
 	s.out = sim.NewMailbox[parItem](eng, "parallel:out")
-	s.acks = make([]*sim.Mailbox[bool], len(s.Frags))
-	s.live = len(s.Frags)
-	for i := range s.Frags {
-		i, frag := i, s.Frags[i]
-		s.acks[i] = sim.NewMailbox[bool](eng, fmt.Sprintf("parallel:ack%d", i))
-		eng.Go(fmt.Sprintf("parallel:w%d", i), func(wp *sim.Proc) {
-			// Each worker executes its fragment against a private context
-			// whose process is the worker itself: CPU charges land on a
-			// core of the shared CPU concurrently with the other workers.
-			// (The worker inherits the consumer's attribution owner at
-			// spawn — sim.Engine.Go — so the whole tree charges one
-			// account.)
-			wctx := *ctx
-			wctx.P = wp
-			err := frag.Open(&wctx)
-			if err == nil {
-				for {
-					var b *table.Batch
-					b, err = frag.Next(&wctx)
-					if err != nil || b == nil {
-						break
-					}
-					if b.Rows() == 0 {
-						continue
-					}
-					s.out.Put(parItem{batch: b, w: i})
-					if !s.acks[i].Get(wp) {
-						break // consumer closed early
-					}
-				}
-				if cerr := frag.Close(&wctx); err == nil {
-					err = cerr
-				}
-			}
-			s.out.Put(parItem{w: i, err: err, done: true})
+	s.acks = s.acks[:0]
+	s.live = 0
+	for _, frag := range s.Frags {
+		s.startWorker(ctx, eng, frag)
+	}
+	if s.Spawn != nil && ctx.Widen != nil {
+		owner := ctx.P.Owner()
+		s.registered = ctx.Widen.Register(func(extra int) int {
+			return s.widen(ctx, eng, owner, extra)
 		})
 	}
+}
+
+// startWorker spawns the next fragment worker (index len(s.acks)).
+func (s *Parallel) startWorker(ctx *Ctx, eng *sim.Engine, frag Operator) *sim.Proc {
+	i := len(s.acks)
+	s.acks = append(s.acks, sim.NewMailbox[bool](eng, fmt.Sprintf("parallel:ack%d", i)))
+	s.live++
+	return eng.Go(fmt.Sprintf("parallel:w%d", i), func(wp *sim.Proc) {
+		// Each worker executes its fragment against a private context
+		// whose process is the worker itself: CPU charges land on a
+		// core of the shared CPU concurrently with the other workers.
+		// (The worker inherits the consumer's attribution owner at
+		// spawn — sim.Engine.Go — so the whole tree charges one
+		// account.)
+		wctx := *ctx
+		wctx.P = wp
+		err := frag.Open(&wctx)
+		if err == nil {
+			for {
+				var b *table.Batch
+				b, err = frag.Next(&wctx)
+				if err != nil || b == nil {
+					break
+				}
+				if b.Rows() == 0 {
+					continue
+				}
+				s.out.Put(parItem{batch: b, w: i})
+				if !s.acks[i].Get(wp) {
+					break // consumer closed early
+				}
+			}
+			if cerr := frag.Close(&wctx); err == nil {
+				err = cerr
+			}
+		}
+		s.out.Put(parItem{w: i, err: err, done: true})
+	})
+}
+
+// widen is the re-grant hook: it absorbs up to extra freed cores by
+// spawning additional fragments against the live morsel dispenser. It
+// runs from scheduler event context (not a query process), so the new
+// workers take their attribution owner from the consumer, captured at
+// registration. Offers are declined once the merge is failing, finished,
+// or the dispenser is nearly drained — late extra workers would only pay
+// startup cost to find no morsels left.
+func (s *Parallel) widen(ctx *Ctx, eng *sim.Engine, owner any, extra int) int {
+	accepted := 0
+	for accepted < extra {
+		if !s.started || s.failed != nil || s.live == 0 || s.Queue == nil || s.Queue.Remaining() == 0 {
+			break
+		}
+		frag, err := s.Spawn()
+		if err != nil || frag == nil {
+			break
+		}
+		// Keep Frags in sync so a later re-open keeps the wider shape.
+		s.Frags = append(s.Frags, frag)
+		p := s.startWorker(ctx, eng, frag)
+		p.SetOwner(owner)
+		accepted++
+	}
+	return accepted
 }
 
 // Next implements Operator. It releases the previously returned batch back
@@ -240,6 +294,10 @@ func (s *Parallel) cancelWorkers(ctx *Ctx) {
 // them, so an early close (LIMIT, error upstream) leaves no process
 // blocked in the engine.
 func (s *Parallel) Close(ctx *Ctx) error {
+	if s.registered {
+		ctx.Widen.Deregister()
+		s.registered = false
+	}
 	if !s.started {
 		return nil
 	}

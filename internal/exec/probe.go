@@ -1,0 +1,363 @@
+package exec
+
+import (
+	"fmt"
+
+	"energydb/internal/fault"
+	"energydb/internal/sim"
+	"energydb/internal/table"
+)
+
+// This file is the probe side of parallel hash joins. The build phase
+// produces an immutable buildState; any number of probe pipelines — the
+// serial HashJoin, or DOP Prober fragments sharing a morsel dispenser —
+// stream against it concurrently. SharedBuild is the run-once latch that
+// lets the fragments share one build.
+
+// buildState is the materialised, immutable result of a hash-join build:
+// the concatenated build-side batch plus the per-partition typed hash
+// tables over it. After runJoinBuild returns it is read-only, so probe
+// pipelines share it across simulated processes without copying.
+type buildState struct {
+	nparts uint32
+	htI    []map[int64][]int32 // per partition; values are global buildB rows
+	htF    []map[float64][]int32
+	htS    []map[string][]int32
+	buildB *table.Batch
+	bytes  int64
+}
+
+// runJoinBuild drains the build side — inline on the caller's process for
+// the serial path (frags nil), under the barrier exchange for the
+// fragmented one — then builds the per-partition typed hash tables
+// (concurrently when the build was fragmented).
+func runJoinBuild(ctx *Ctx, bschema *table.Schema, build Operator, frags []Operator, queue *Morsels, buildKey, partitions int) (*buildState, error) {
+	nparts := 1
+	if partitions > 1 {
+		nparts = ceilPow2(partitions)
+	}
+	bs := &buildState{nparts: uint32(nparts)}
+
+	// Phase 1: drain build pipelines into per-worker partitioned row stores.
+	var locals []*buildPartitioner
+	if frags == nil {
+		bp := newBuildPartitioner(bschema, buildKey, bs.nparts)
+		if err := build.Open(ctx); err != nil {
+			return nil, err
+		}
+		for {
+			b, err := build.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			bp.absorb(ctx, b)
+		}
+		if err := build.Close(ctx); err != nil {
+			return nil, err
+		}
+		locals = []*buildPartitioner{bp}
+	} else {
+		if queue != nil {
+			queue.Reset()
+		}
+		locals = make([]*buildPartitioner, len(frags))
+		for i := range locals {
+			locals[i] = newBuildPartitioner(bschema, buildKey, bs.nparts)
+		}
+		if err := RunFragments(ctx, "hashjoin:build", frags, func(w int, wctx *Ctx, b *table.Batch) error {
+			locals[w].absorb(wctx, b)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: concatenate the workers' shares of each partition (worker
+	// order within a partition, partitions in order) into one build batch,
+	// recording every partition's global row span. The serial path (one
+	// worker, one partition) adopts the materialised rows as-is — absorb
+	// already copied them once.
+	spans := make([][2]int, nparts)
+	if len(locals) == 1 && nparts == 1 {
+		bs.buildB = locals[0].parts[0]
+		locals[0].parts[0] = nil
+		spans[0] = [2]int{0, bs.buildB.Rows()}
+	} else {
+		bs.buildB = table.NewBatch(bschema, 0)
+		for p := 0; p < nparts; p++ {
+			lo := bs.buildB.Rows()
+			for _, l := range locals {
+				bs.buildB.AppendBatch(l.parts[p])
+				l.parts[p] = nil
+			}
+			spans[p] = [2]int{lo, bs.buildB.Rows()}
+		}
+	}
+	for _, l := range locals {
+		bs.bytes += l.bytes
+	}
+	if ctx.MemBudgetBytes > 0 && bs.bytes > ctx.MemBudgetBytes {
+		return nil, fmt.Errorf("exec: hash join build side (%d bytes) exceeds memory budget (%d): %w",
+			bs.bytes, ctx.MemBudgetBytes, fault.ErrMemBudget)
+	}
+
+	// Phase 3: build each partition's typed hash table over its row span —
+	// one process per partition when the build was fragmented, inline for
+	// the serial plan. Values are global buildB row indexes, so the probe
+	// and output paths are partition-agnostic.
+	kv := bs.buildB.Vecs[buildKey]
+	phys := kv.Type.Physical()
+	switch phys {
+	case table.PhysInt:
+		bs.htI = make([]map[int64][]int32, nparts)
+	case table.PhysFloat:
+		bs.htF = make([]map[float64][]int32, nparts)
+	default:
+		bs.htS = make([]map[string][]int32, nparts)
+	}
+	buildPart := func(p int) {
+		lo, hi := spans[p][0], spans[p][1]
+		switch phys {
+		case table.PhysInt:
+			ht := make(map[int64][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.I[i]] = append(ht[kv.I[i]], int32(i))
+			}
+			bs.htI[p] = ht
+		case table.PhysFloat:
+			ht := make(map[float64][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.F[i]] = append(ht[kv.F[i]], int32(i))
+			}
+			bs.htF[p] = ht
+		default:
+			ht := make(map[string][]int32, hi-lo)
+			for i := lo; i < hi; i++ {
+				ht[kv.S[i]] = append(ht[kv.S[i]], int32(i))
+			}
+			bs.htS[p] = ht
+		}
+	}
+	if frags != nil && nparts > 1 {
+		if err := ParDo(ctx, "hashjoin:tables", nparts, func(p int, wctx *Ctx) error {
+			buildPart(p)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		for p := 0; p < nparts; p++ {
+			buildPart(p)
+		}
+	}
+	return bs, nil
+}
+
+// probeInto probes one probe batch's key column against the tables,
+// honouring a selection riding on the batch, and appends matching
+// (build, probe) physical index pairs to bsel/psel.
+func (bs *buildState) probeInto(pb *table.Batch, probeKey int, bsel, psel []int32) ([]int32, []int32) {
+	kv := pb.Vecs[probeKey]
+	mask := bs.nparts - 1
+	switch kv.Type.Physical() {
+	case table.PhysInt:
+		if bs.nparts == 1 {
+			return probeHT(bs.htI[0], kv.I, pb.Sel, bsel, psel)
+		}
+		return probePartHT(bs.htI, hashInt64, mask, kv.I, pb.Sel, bsel, psel)
+	case table.PhysFloat:
+		if bs.nparts == 1 {
+			return probeHT(bs.htF[0], kv.F, pb.Sel, bsel, psel)
+		}
+		return probePartHT(bs.htF, hashFloat64, mask, kv.F, pb.Sel, bsel, psel)
+	default:
+		if bs.nparts == 1 {
+			return probeHT(bs.htS[0], kv.S, pb.Sel, bsel, psel)
+		}
+		return probePartHT(bs.htS, hashString, mask, kv.S, pb.Sel, bsel, psel)
+	}
+}
+
+// probeCursor is the streaming probe state shared by the serial HashJoin
+// and the parallel Prober: a probe input, reusable match scratch and a
+// reusable output batch.
+type probeCursor struct {
+	in         Operator
+	key        int
+	schema     *table.Schema
+	bsel, psel []int32
+	out        *table.Batch
+}
+
+// next pulls probe batches until one matches (or EOF), materialising the
+// matched pairs with one batch-level gather per side. The returned batch
+// is valid until the following next call, per the operator contract.
+func (pc *probeCursor) next(ctx *Ctx, bs *buildState) (*table.Batch, error) {
+	for {
+		pb, err := pc.in.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if pb == nil {
+			return nil, nil
+		}
+		ctx.ChargeRows(pb.Rows(), ctx.Costs.HashProbeCyclesPerRow)
+		bsel, psel := bs.probeInto(pb, pc.key, pc.bsel[:0], pc.psel[:0])
+		pc.bsel, pc.psel = bsel, psel
+		if len(psel) == 0 {
+			continue
+		}
+		ctx.ChargeRows(len(psel), ctx.Costs.JoinOutputCyclesPerRow)
+		if pc.out == nil {
+			pc.out = table.NewBatch(pc.schema, len(psel))
+		}
+		pc.out.Reset()
+		nb := len(bs.buildB.Vecs)
+		for c, v := range bs.buildB.Vecs {
+			pc.out.Vecs[c].AppendGather(v, bsel)
+		}
+		for c, v := range pb.Vecs {
+			pc.out.Vecs[nb+c].AppendGather(v, psel)
+		}
+		pc.out.SetRows(len(psel))
+		return pc.out, nil
+	}
+}
+
+// SharedBuild runs a hash-join build side exactly once per pipeline run on
+// behalf of any number of parallel probe fragments (Prober). The first
+// prober to open runs the build in its own process — siblings opening
+// concurrently park on a condition until the tables exist — and the last
+// prober to close drops the state, so a re-opened pipeline (a nested-loop
+// rescan) rebuilds, matching the serial HashJoin's re-Open semantics.
+// With BuildFrags set the build itself runs fragmented and partitioned,
+// composing build- and probe-side parallelism.
+type SharedBuild struct {
+	Build      Operator   // serial build input; ignored when BuildFrags is set
+	BuildFrags []Operator // parallel build fragment pipelines sharing BuildQueue
+	BuildQueue *Morsels   // shared dispenser behind BuildFrags; reset per build
+	Key        int        // build-key column in the build schema
+	Partitions int        // hash partitions; <= 1 builds one table
+
+	schema   *table.Schema
+	bs       *buildState
+	building bool
+	cond     *sim.Cond
+	opens    int
+	err      error // sticky: a failed build fails every prober of the run
+}
+
+// NewSharedBuild wraps a build side for sharing across probe fragments.
+// Pass either a serial build operator, or fragment pipelines plus their
+// queue (build is then ignored).
+func NewSharedBuild(build Operator, frags []Operator, queue *Morsels, key, partitions int) *SharedBuild {
+	sb := &SharedBuild{Build: build, BuildFrags: frags, BuildQueue: queue,
+		Key: key, Partitions: partitions}
+	if frags != nil {
+		sb.schema = frags[0].Schema()
+	} else {
+		sb.schema = build.Schema()
+	}
+	return sb
+}
+
+// Schema is the build side's schema.
+func (sb *SharedBuild) Schema() *table.Schema { return sb.schema }
+
+// acquire returns the shared build state, running the build if this is
+// the first prober in. Callers that get an error must not release.
+func (sb *SharedBuild) acquire(ctx *Ctx) (*buildState, error) {
+	if sb.cond == nil {
+		sb.cond = sim.NewCond(ctx.P.Engine(), "hashjoin:sharedbuild")
+	}
+	for sb.building {
+		sb.cond.Wait(ctx.P)
+	}
+	if sb.err != nil {
+		return nil, sb.err
+	}
+	if sb.bs == nil {
+		sb.building = true
+		bs, err := runJoinBuild(ctx, sb.schema, sb.Build, sb.BuildFrags, sb.BuildQueue, sb.Key, sb.Partitions)
+		sb.building = false
+		sb.cond.Broadcast()
+		if err != nil {
+			sb.err = err
+			return nil, err
+		}
+		sb.bs = bs
+	}
+	sb.opens++
+	return sb.bs, nil
+}
+
+// release drops one prober's reference; the last one out frees the build
+// state so a rescan rebuilds (and an aborted run does not pin it).
+func (sb *SharedBuild) release() {
+	if sb.opens--; sb.opens <= 0 {
+		sb.opens = 0
+		sb.bs = nil
+		sb.err = nil
+	}
+}
+
+// Prober is one probe-side fragment of a parallel hash join: it streams
+// its private share of the probe pipeline (fragments divide the table via
+// a shared morsel dispenser upstream) against the join's shared build
+// state. The serial HashJoin is semantically the one-prober special case
+// of this shape; DOP probers under a Parallel merge produce the same
+// multiset of rows with probe and output CPU spread across cores.
+type Prober struct {
+	SB       *SharedBuild
+	In       Operator // probe fragment pipeline
+	ProbeKey int      // column index in In's schema
+
+	schema *table.Schema
+	bs     *buildState
+	pc     probeCursor
+}
+
+// NewProber builds one probe fragment over a shared build.
+func NewProber(sb *SharedBuild, in Operator, probeKey int) *Prober {
+	return &Prober{SB: sb, In: in, ProbeKey: probeKey,
+		schema: joinSchema("hashjoin", sb.Schema(), in.Schema())}
+}
+
+// Schema implements Operator.
+func (p *Prober) Schema() *table.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *Prober) Open(ctx *Ctx) error {
+	bs, err := p.SB.acquire(ctx)
+	if err != nil {
+		return err
+	}
+	p.bs = bs
+	p.pc = probeCursor{in: p.In, key: p.ProbeKey, schema: p.schema,
+		bsel: p.pc.bsel, psel: p.pc.psel, out: p.pc.out}
+	if err := p.In.Open(ctx); err != nil {
+		p.SB.release()
+		p.bs = nil
+		return err
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (p *Prober) Next(ctx *Ctx) (*table.Batch, error) {
+	return p.pc.next(ctx, p.bs)
+}
+
+// Close implements Operator.
+func (p *Prober) Close(ctx *Ctx) error {
+	err := p.In.Close(ctx)
+	if p.bs != nil {
+		p.SB.release()
+		p.bs = nil
+	}
+	p.pc.out = nil
+	return err
+}

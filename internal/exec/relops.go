@@ -81,24 +81,32 @@ type Project struct {
 	Names []string
 
 	schema  *table.Schema
-	arith   bool         // some expression does per-row arithmetic
+	arith   bool         // some unfused expression does per-row arithmetic
 	scratch *table.Batch // reusable compaction buffer for sparse selections
+	out     *table.Batch // reused output batch header
 }
 
 // NewProject builds a projection; names label the output columns.
+// Arithmetic expression trees are compiled into fused kernels here
+// (FuseScalar); only trees the fusion pass declines keep the
+// node-at-a-time path and its sparse-selection compaction.
 func NewProject(in Operator, exprs []Scalar, names []string) *Project {
 	if len(exprs) != len(names) {
 		panic(fmt.Sprintf("exec: %d exprs, %d names", len(exprs), len(names)))
 	}
+	compiled := make([]Scalar, len(exprs))
+	copy(compiled, exprs)
 	cols := make([]table.Column, len(exprs))
 	arith := false
-	for i, e := range exprs {
-		cols[i] = table.Col(names[i], e.Type(in.Schema()))
-		if _, ok := e.(*Arith); ok {
+	for i, e := range compiled {
+		if f, ok := FuseScalar(e, in.Schema()); ok {
+			compiled[i] = f
+		} else if _, ok := e.(*Arith); ok {
 			arith = true
 		}
+		cols[i] = table.Col(names[i], compiled[i].Type(in.Schema()))
 	}
-	return &Project{In: in, Exprs: exprs, Names: names, arith: arith,
+	return &Project{In: in, Exprs: compiled, Names: names, arith: arith,
 		schema: table.NewSchema(in.Schema().Name, cols...)}
 }
 
@@ -130,7 +138,10 @@ func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 			b = p.scratch
 		}
 	}
-	out := &table.Batch{Schema: p.schema, Vecs: make([]*table.Vector, len(p.Exprs))}
+	if p.out == nil {
+		p.out = &table.Batch{Schema: p.schema, Vecs: make([]*table.Vector, len(p.Exprs))}
+	}
+	out := p.out
 	for i, e := range p.Exprs {
 		out.Vecs[i] = e.EvalInto(ctx, b)
 	}
@@ -145,6 +156,7 @@ func (p *Project) Next(ctx *Ctx) (*table.Batch, error) {
 // Close implements Operator.
 func (p *Project) Close(ctx *Ctx) error {
 	p.scratch = nil
+	p.out = nil
 	return p.In.Close(ctx)
 }
 

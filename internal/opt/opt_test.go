@@ -622,9 +622,10 @@ func TestParallelAggDOPChoice(t *testing.T) {
 	}
 }
 
-// TestParallelJoinBuildDOPChoice: MinTime must fragment a hash-join build
-// rooted at a scan (build_dop=), MinEnergy must not, and both plans must
-// join to the same multiset of rows.
+// TestParallelJoinBuildDOPChoice: MinTime must parallelise a hash join
+// rooted at scans — by fragmenting the build (build_dop=), the probe
+// pipeline (probe_dop=), or both — MinEnergy must not, and both plans
+// must join to the same multiset of rows.
 func TestParallelJoinBuildDOPChoice(t *testing.T) {
 	w := newWorld(t, 40000, 50)
 	w.env.Cores = 8
@@ -649,15 +650,15 @@ func TestParallelJoinBuildDOPChoice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(fast.Explain(), "build_dop=") {
-		t.Fatalf("MinTime kept the join build serial on an 8-core env:\n%s", fast.Explain())
+	if !strings.Contains(fast.Explain(), "build_dop=") && !strings.Contains(fast.Explain(), "probe_dop=") {
+		t.Fatalf("MinTime kept the join serial on an 8-core env:\n%s", fast.Explain())
 	}
 	lean, err := Optimize(q(), w.cat, w.env, MinEnergy)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(lean.Explain(), "build_dop=") {
-		t.Fatalf("MinEnergy bought a parallel join build:\n%s", lean.Explain())
+	if strings.Contains(lean.Explain(), "build_dop=") || strings.Contains(lean.Explain(), "probe_dop=") {
+		t.Fatalf("MinEnergy bought a parallel join:\n%s", lean.Explain())
 	}
 
 	count := func(tab *table.Table) (int, float64) {

@@ -427,6 +427,67 @@ func (w scanWork) elapsed(extraCPUSecs float64, dop int) float64 {
 	return w.ioSecs + cpu
 }
 
+// pipeWork is the decomposed cost of a fragmentable pipeline: the leaf
+// scan's io/cpu/joule split, the per-row CPU of the filter, project and
+// probe operators that fragment along with the scan, the serial prefix
+// that must complete before the pipeline streams (hash-join build
+// phases), and the hash-table working set held live while it does.
+type pipeWork struct {
+	scan     scanWork
+	extraCPU float64 // seconds of fragmented per-row work above the scan
+	prefix   Cost    // serial build phases preceding the streaming pipeline
+	memBytes float64 // build tables held live while the pipeline streams
+	src      *PScan  // the leaf scan; the DOP sweep bounds come from its table
+}
+
+// pipelineWork decomposes n's cost when its whole pipeline can fragment
+// end to end: a PScan leaf under any stack of PFilter, PProject and
+// hash-PJoin probe sides. It mirrors fragSource — shapes it declines
+// cannot BuildFragments either — and prices filter and probe CPU inside
+// the fragmented pipeline (divided by DOP alongside the scan) instead of
+// as a serial tax above the exchange.
+func (o *optimizer) pipelineWork(n PhysNode) (pipeWork, bool) {
+	env := o.env
+	switch v := n.(type) {
+	case *PScan:
+		w := o.scanWork(v.Variant.ST, v.Read, float64(v.Variant.ST.Tab.Rows()), len(v.Preds))
+		return pipeWork{scan: w, src: v}, true
+	case *PFilter:
+		pw, ok := o.pipelineWork(v.In)
+		if !ok {
+			return pw, false
+		}
+		pw.extraCPU += v.In.Card() * float64(len(v.Preds)) * env.Costs.FilterCyclesPerRow / env.CPUFreqHz
+		return pw, true
+	case *PProject:
+		pw, ok := o.pipelineWork(v.In)
+		if !ok {
+			return pw, false
+		}
+		pw.extraCPU += v.In.Card() * float64(len(v.Exprs)) * env.Costs.ProjectCyclesPerRow / env.CPUFreqHz
+		return pw, true
+	case *PJoin:
+		if v.Algo != "hash" {
+			return pipeWork{}, false
+		}
+		pw, ok := o.pipelineWork(v.Right)
+		if !ok {
+			return pw, false
+		}
+		pw.extraCPU += (v.Right.Card()*env.Costs.HashProbeCyclesPerRow +
+			v.Card()*env.Costs.JoinOutputCyclesPerRow) / env.CPUFreqHz
+		// The build side runs to completion before the probe streams: a
+		// serial prefix priced at the build input's own cost plus table
+		// insertion, with its tables resident for the rest of the pipeline.
+		bsecs := v.Left.Card() * env.Costs.HashBuildCyclesPerRow / env.CPUFreqHz
+		pw.prefix = pw.prefix.Add(v.Left.Cost()).Add(Cost{
+			Seconds: bsecs, Joules: bsecs * env.CPUWattPerCore})
+		pw.memBytes += v.Left.Card() * v.Left.RowBytes()
+		return pw, true
+	}
+	return pipeWork{}, false
+}
+
 // scanCost prices a dop-way scan of the given columns of st.
 //
 // Parallelism divides CPU time across dop cores but not I/O time — the
@@ -592,30 +653,59 @@ func (o *optimizer) joinCandidates(l, r PhysNode, lc, rc ColRef, jp PredIR) []Ph
 		// the whole scan→partition→insert pipeline fragments dop-ways, so
 		// the build phase's elapsed time approaches max(io, cpu/dop) while
 		// its joules only grow by worker startup — the probe is unchanged.
-		bs, ok := build.(*PScan)
-		if !ok {
+		if bs, ok := build.(*PScan); ok {
+			w := o.scanWork(bs.Variant.ST, bs.Read, float64(bs.Variant.ST.Tab.Rows()), len(bs.Preds))
+			buildCPU := build.Card() * env.Costs.HashBuildCyclesPerRow / env.CPUFreqHz
+			probeSecs := (probe.Card()*env.Costs.HashProbeCyclesPerRow +
+				outCard*env.Costs.JoinOutputCyclesPerRow) / env.CPUFreqHz
+			for _, dop := range o.pipelineDops(bs.Variant.ST, len(bs.Read)) {
+				if dop <= 1 {
+					continue
+				}
+				startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
+				buildSecs := w.elapsed(buildCPU, dop) + startup
+				pelapsed := buildSecs + probe.Cost().Seconds + probeSecs
+				pc := probe.Cost().Add(Cost{
+					Seconds: buildSecs + probeSecs,
+					Joules: (w.cpuSecs+buildCPU+startup+probeSecs)*env.CPUWattPerCore +
+						w.ioJoules + buildMem*env.DRAMWattPerByte*pelapsed,
+					MemBytes: int64(buildMem),
+				})
+				out = append(out, &PJoin{Algo: "hash", Left: build, Right: probe,
+					LeftCol: bi, RightCol: pi, Pred: jp, BuildDOP: dop,
+					cols: cs, card: outCard, cost: pc})
+			}
+		}
+
+		// Fragmented probe: when the probe side fragments end to end, the
+		// probe pipeline plus probe and output CPU divides across dop cores
+		// against the finished shared build, while the build phase and every
+		// joule stay — probe-side parallelism also buys time, not marginal
+		// energy.
+		pw, pok := o.pipelineWork(probe)
+		if !pok {
 			return
 		}
-		w := o.scanWork(bs.Variant.ST, bs.Read, float64(bs.Variant.ST.Tab.Rows()), len(bs.Preds))
-		buildCPU := build.Card() * env.Costs.HashBuildCyclesPerRow / env.CPUFreqHz
-		probeSecs := (probe.Card()*env.Costs.HashProbeCyclesPerRow +
-			outCard*env.Costs.JoinOutputCyclesPerRow) / env.CPUFreqHz
-		for _, dop := range o.pipelineDops(bs.Variant.ST, len(bs.Read)) {
+		buildCPUSecs := build.Card() * env.Costs.HashBuildCyclesPerRow / env.CPUFreqHz
+		streamCPU := pw.extraCPU + (probe.Card()*env.Costs.HashProbeCyclesPerRow+
+			outCard*env.Costs.JoinOutputCyclesPerRow)/env.CPUFreqHz
+		for _, dop := range o.pipelineDops(pw.src.Variant.ST, len(pw.src.Read)) {
 			if dop <= 1 {
 				continue
 			}
 			startup := float64(dop-1) * parallelStartupCycles / env.CPUFreqHz
-			buildSecs := w.elapsed(buildCPU, dop) + startup
-			pelapsed := buildSecs + probe.Cost().Seconds + probeSecs
-			pc := probe.Cost().Add(Cost{
-				Seconds: buildSecs + probeSecs,
-				Joules: (w.cpuSecs+buildCPU+startup+probeSecs)*env.CPUWattPerCore +
-					w.ioJoules + buildMem*env.DRAMWattPerByte*pelapsed,
-				MemBytes: int64(buildMem),
+			stream := pw.scan.elapsed(streamCPU, dop) + startup
+			pelapsed := build.Cost().Seconds + buildCPUSecs + pw.prefix.Seconds + stream
+			pj := build.Cost().Add(Cost{
+				Seconds: buildCPUSecs + pw.prefix.Seconds + stream,
+				Joules: buildCPUSecs*env.CPUWattPerCore + pw.prefix.Joules +
+					(pw.scan.cpuSecs+streamCPU+startup)*env.CPUWattPerCore + pw.scan.ioJoules +
+					(buildMem+pw.memBytes)*env.DRAMWattPerByte*pelapsed,
+				MemBytes: int64(buildMem + pw.memBytes),
 			})
 			out = append(out, &PJoin{Algo: "hash", Left: build, Right: probe,
-				LeftCol: bi, RightCol: pi, Pred: jp, BuildDOP: dop,
-				cols: cs, card: outCard, cost: pc})
+				LeftCol: bi, RightCol: pi, Pred: jp, ProbeDOP: dop,
+				cols: cs, card: outCard, cost: pj})
 		}
 	}
 	mkHash(l, r, li, ri, cols)
@@ -735,30 +825,36 @@ func (o *optimizer) buildAgg(in PhysNode) (PhysNode, error) {
 		cols: outCols, card: groups, cost: aggCost}
 	bestScore := o.env.Score(aggCost, o.obj)
 
-	// Extend the DOP sweep to the whole pipeline: when the aggregation sits
-	// directly on a scan, price fragmenting scan+project+partial-agg
-	// dop-ways followed by a partition-wise parallel merge. Elapsed time
-	// approaches max(io, pipelineCPU/dop) plus a merge term; joules stay
-	// flat in dop except for the dop× partial groups the merge folds and
-	// the per-worker startup overhead (two process waves: fragments, then
-	// merge workers), so MinTime buys parallel aggregation while MinEnergy
-	// keeps the serial plan — per operator, not just per scan.
-	if scan, ok := in.(*PScan); ok {
+	// Extend the DOP sweep to the whole pipeline: when the aggregation's
+	// input fragments end to end (a scan under any stack of filters,
+	// projections and hash-join probe sides — see pipelineWork), price
+	// fragmenting input+project+partial-agg dop-ways followed by a
+	// partition-wise parallel merge. Elapsed time approaches the serial
+	// prefix (join builds) plus max(io, pipelineCPU/dop) plus a merge term;
+	// joules stay flat in dop except for the dop× partial groups the merge
+	// folds and the per-worker startup overhead (two process waves:
+	// fragments, then merge workers), so MinTime buys parallel aggregation
+	// while MinEnergy keeps the serial plan — per operator, not just per
+	// scan. Filter and probe CPU is priced inside the fragments here, not
+	// as the serial tax the non-fragmented candidates carry.
+	if pw, ok := o.pipelineWork(in); ok {
 		env := o.env
-		w := o.scanWork(scan.Variant.ST, scan.Read, float64(scan.Variant.ST.Tab.Rows()), len(scan.Preds))
 		projCycles := in.Card() * float64(len(exprs)) * env.Costs.ProjectCyclesPerRow
 		foldCycles := groups * float64(maxInt(1, len(aggs))) * env.Costs.AggCyclesPerRow
-		for _, dop := range o.pipelineDops(scan.Variant.ST, len(scan.Read)) {
+		for _, dop := range o.pipelineDops(pw.src.Variant.ST, len(pw.src.Read)) {
 			if dop <= 1 {
 				continue
 			}
-			pipeCPU := (projCycles + aggCycles) / env.CPUFreqHz
+			pipeCPU := pw.extraCPU + (projCycles+aggCycles)/env.CPUFreqHz
 			startup := float64(2*(dop-1)) * parallelStartupCycles / env.CPUFreqHz
 			mergeSecs := foldCycles / env.CPUFreqHz // dop merge workers fold dop partials in parallel
-			secs := w.elapsed(pipeCPU, dop) + mergeSecs + startup
-			joules := (w.cpuSecs+pipeCPU+startup)*env.CPUWattPerCore + w.ioJoules +
-				float64(dop)*foldCycles/env.CPUFreqHz*env.CPUWattPerCore
-			c := Cost{Seconds: secs, Joules: joules, MemBytes: int64(dop) * mem}
+			stream := pw.scan.elapsed(pipeCPU, dop) + mergeSecs + startup
+			secs := pw.prefix.Seconds + stream
+			joules := pw.prefix.Joules + (pw.scan.cpuSecs+pipeCPU+startup)*env.CPUWattPerCore +
+				pw.scan.ioJoules + float64(dop)*foldCycles/env.CPUFreqHz*env.CPUWattPerCore +
+				pw.memBytes*env.DRAMWattPerByte*stream
+			c := Cost{Seconds: secs, Joules: joules,
+				MemBytes: int64(dop)*mem + int64(pw.memBytes)}
 			if o.env.Score(c, o.obj) < bestScore {
 				best = &PAgg{In: proj, Group: groupPos, Aggs: aggs, AggRefs: aggRefs,
 					DOP: dop, cols: outCols, card: groups, cost: c}

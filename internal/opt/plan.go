@@ -79,14 +79,51 @@ func colIndex(cols []ColRef, c ColRef) int {
 	return -1
 }
 
+// fragPipeline is a compiled set of parallel fragment pipelines sharing
+// one morsel dispenser, plus a Spawn hook that constructs one more
+// identical fragment over the same dispenser — the mid-pipeline widening
+// path (exec.Parallel.Spawn / exec.HashAgg.Spawn) uses it to absorb
+// re-granted cores into a running exchange without restarting the query.
+type fragPipeline struct {
+	Frags []exec.Operator
+	Queue *exec.Morsels
+	Spawn func() (exec.Operator, error)
+}
+
 // fragSource is implemented by physical nodes that can compile themselves
 // into dop parallel fragment pipelines sharing one morsel dispenser, so
 // exchange consumers — the Parallel streaming merge, partitioned
 // aggregation and partitioned join builds — can parallelise the whole
-// pipeline above the scan rather than just the scan itself. Fewer
+// pipeline above the scan rather than just the scan itself: scans,
+// filters, projections and hash-join probe sides all fragment. Fewer
 // fragments than dop may come back when the table has too few blocks.
 type fragSource interface {
-	BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error)
+	BuildFragments(ctx *exec.Ctx, dop int) (*fragPipeline, error)
+}
+
+// wrapFrags applies a per-fragment operator constructor over every
+// fragment of a child pipeline and composes it into the Spawn hook, so
+// the whole wrapped pipeline — not just the scan — runs inside each
+// present and future worker.
+func wrapFrags(fp *fragPipeline, wrap func(in exec.Operator) (exec.Operator, error)) (*fragPipeline, error) {
+	for i, f := range fp.Frags {
+		w, err := wrap(f)
+		if err != nil {
+			return nil, err
+		}
+		fp.Frags[i] = w
+	}
+	inner := fp.Spawn
+	if inner != nil {
+		fp.Spawn = func() (exec.Operator, error) {
+			f, err := inner()
+			if err != nil || f == nil {
+				return nil, err
+			}
+			return wrap(f)
+		}
+	}
+	return fp, nil
 }
 
 // PScan scans one placement variant with pushed-down predicates, possibly
@@ -135,11 +172,13 @@ func (s *PScan) Build(ctx *exec.Ctx) (exec.Operator, error) {
 		dop = nb
 	}
 	if dop > 1 {
-		frags, queue, err := s.BuildFragments(ctx, dop)
+		fp, err := s.BuildFragments(ctx, dop)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewParallel(frags, queue), nil
+		par := exec.NewParallel(fp.Frags, fp.Queue)
+		par.Spawn = fp.Spawn
+		return par, nil
 	}
 	if s.Variant.ST.Layout == exec.ColumnMajor {
 		pred, err := s.execPred()
@@ -172,7 +211,7 @@ func (s *PScan) rowEmit() []int {
 // carry evaluation scratch). The caller owns wiring them under an
 // exchange — a Parallel merge, a partitioned aggregation or a partitioned
 // join build — and resetting the dispenser on re-open.
-func (s *PScan) BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error) {
+func (s *PScan) BuildFragments(ctx *exec.Ctx, dop int) (*fragPipeline, error) {
 	if nb := s.Variant.ST.NumBlocks(); dop > nb {
 		dop = nb
 	}
@@ -180,28 +219,34 @@ func (s *PScan) BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.M
 		dop = 1
 	}
 	queue := exec.NewMorsels(s.Variant.ST.NumBlocks(), 0)
-	frags := make([]exec.Operator, dop)
-	for i := range frags {
+	mk := func() (exec.Operator, error) {
 		if s.Variant.ST.Layout == exec.ColumnMajor {
 			pred, err := s.execPred()
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			cs := exec.NewColumnScan(s.Variant.ST, s.Read, s.Emit, pred)
 			cs.Morsels = queue
-			frags[i] = cs
-		} else {
-			rowPred, err := s.execPredFull()
-			if err != nil {
-				return nil, nil, err
-			}
-			rs := exec.NewRowScan(s.Variant.ST, s.rowEmit(), rowPred)
-			rs.Window = 2 // per-fragment readahead; dop fragments stream at once
-			rs.Morsels = queue
-			frags[i] = rs
+			return cs, nil
 		}
+		rowPred, err := s.execPredFull()
+		if err != nil {
+			return nil, err
+		}
+		rs := exec.NewRowScan(s.Variant.ST, s.rowEmit(), rowPred)
+		rs.Window = 2 // per-fragment readahead; dop fragments stream at once
+		rs.Morsels = queue
+		return rs, nil
 	}
-	return frags, queue, nil
+	frags := make([]exec.Operator, dop)
+	for i := range frags {
+		f, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		frags[i] = f
+	}
+	return &fragPipeline{Frags: frags, Queue: queue, Spawn: mk}, nil
 }
 
 // execPred translates the pushed predicates to positions within Read.
@@ -274,6 +319,7 @@ type PJoin struct {
 	RightCol int
 	Pred     PredIR // the equality predicate this join applies
 	BuildDOP int    // hash only: fragment the build pipeline this many ways; <= 1 serial
+	ProbeDOP int    // hash only: fragment the probe pipeline this many ways; <= 1 serial
 
 	cols []ColRef
 	card float64
@@ -294,27 +340,44 @@ func (j *PJoin) Cost() Cost { return j.cost }
 
 // MaxDOP implements PhysNode.
 func (j *PJoin) MaxDOP() int {
-	return max(j.BuildDOP, j.Left.MaxDOP(), j.Right.MaxDOP())
+	return max(j.BuildDOP, j.ProbeDOP, j.Left.MaxDOP(), j.Right.MaxDOP())
 }
 
-// Build implements PhysNode. A hash join with BuildDOP > 1 over a
-// fragmentable build side compiles the build pipeline into fragments under
-// the partitioned build — the fragments hash-partition rows by key and the
-// per-partition tables build concurrently; the probe routes through the
-// same partitioning.
+// Build implements PhysNode. A hash join with ProbeDOP > 1 over a
+// fragmentable probe side compiles into probe fragments over one shared
+// build under a Parallel merge (see BuildFragments). A hash join with
+// BuildDOP > 1 over a fragmentable build side compiles the build pipeline
+// into fragments under the partitioned build — the fragments
+// hash-partition rows by key and the per-partition tables build
+// concurrently; the probe routes through the same partitioning.
 func (j *PJoin) Build(ctx *exec.Ctx) (exec.Operator, error) {
-	if j.Algo == "hash" && j.BuildDOP > 1 {
-		if fs, ok := j.Left.(fragSource); ok {
-			frags, queue, err := fs.BuildFragments(ctx, j.BuildDOP)
+	if j.Algo == "hash" && j.ProbeDOP > 1 {
+		if _, ok := j.Right.(fragSource); ok {
+			fp, err := j.BuildFragments(ctx, j.ProbeDOP)
 			if err != nil {
 				return nil, err
 			}
-			if len(frags) > 1 {
+			if len(fp.Frags) > 1 {
+				par := exec.NewParallel(fp.Frags, fp.Queue)
+				par.Spawn = fp.Spawn
+				return par, nil
+			}
+			// Too few blocks to fragment the probe: fall through and build
+			// the serial shape (discarding the unopened fragment set).
+		}
+	}
+	if j.Algo == "hash" && j.BuildDOP > 1 {
+		if fs, ok := j.Left.(fragSource); ok {
+			fp, err := fs.BuildFragments(ctx, j.BuildDOP)
+			if err != nil {
+				return nil, err
+			}
+			if len(fp.Frags) > 1 {
 				r, err := j.Right.Build(ctx)
 				if err != nil {
 					return nil, err
 				}
-				return exec.NewPartitionedHashJoin(frags, queue, r, j.LeftCol, j.RightCol, len(frags)), nil
+				return exec.NewPartitionedHashJoin(fp.Frags, fp.Queue, r, j.LeftCol, j.RightCol, len(fp.Frags)), nil
 			}
 		}
 	}
@@ -332,10 +395,62 @@ func (j *PJoin) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	return exec.NewNestedLoopJoin(l, r, j.LeftCol, j.RightCol), nil
 }
 
+// sharedBuild compiles the join's build side once for all probe
+// fragments: partitioned and fragmented when BuildDOP asks for it and the
+// build side can fragment, serial otherwise.
+func (j *PJoin) sharedBuild(ctx *exec.Ctx) (*exec.SharedBuild, error) {
+	if j.BuildDOP > 1 {
+		if ls, ok := j.Left.(fragSource); ok {
+			lfp, err := ls.BuildFragments(ctx, j.BuildDOP)
+			if err != nil {
+				return nil, err
+			}
+			if len(lfp.Frags) > 1 {
+				return exec.NewSharedBuild(nil, lfp.Frags, lfp.Queue, j.LeftCol, len(lfp.Frags)), nil
+			}
+		}
+	}
+	l, err := j.Left.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewSharedBuild(l, nil, nil, j.LeftCol, 1), nil
+}
+
+// BuildFragments implements fragSource for the probe side of a hash join:
+// the probe pipeline fragments over the shared morsel dispenser and every
+// fragment probes one shared build state, run once by the first fragment
+// to open (exec.SharedBuild). Probe and join-output CPU thereby run
+// inside the fragments at the swept DOP; build-side parallelism composes
+// via BuildDOP.
+func (j *PJoin) BuildFragments(ctx *exec.Ctx, dop int) (*fragPipeline, error) {
+	if j.Algo != "hash" {
+		return nil, fmt.Errorf("opt: %s join cannot fragment its probe side", j.Algo)
+	}
+	rs, ok := j.Right.(fragSource)
+	if !ok {
+		return nil, fmt.Errorf("opt: probe input %T cannot fragment", j.Right)
+	}
+	fp, err := rs.BuildFragments(ctx, dop)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := j.sharedBuild(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return wrapFrags(fp, func(in exec.Operator) (exec.Operator, error) {
+		return exec.NewProber(sb, in, j.RightCol), nil
+	})
+}
+
 func (j *PJoin) explain(b *strings.Builder, indent string) {
 	fmt.Fprintf(b, "%s%s join on L.%d = R.%d rows≈%.0f %v", indent, j.Algo, j.LeftCol, j.RightCol, j.card, j.cost)
 	if j.BuildDOP > 1 {
 		fmt.Fprintf(b, " build_dop=%d", j.BuildDOP)
+	}
+	if j.ProbeDOP > 1 {
+		fmt.Fprintf(b, " probe_dop=%d", j.ProbeDOP)
 	}
 	b.WriteByte('\n')
 	j.Left.explain(b, indent+"  ")
@@ -372,6 +487,13 @@ func (f *PFilter) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	if err != nil {
 		return nil, err
 	}
+	return f.wrap(in)
+}
+
+// wrap puts this filter over one input operator with a fresh predicate
+// instance (predicates carry evaluation scratch, so fragments must not
+// share one).
+func (f *PFilter) wrap(in exec.Operator) (exec.Operator, error) {
 	cols := f.In.Columns()
 	var terms []exec.Pred
 	for _, p := range f.Preds {
@@ -394,6 +516,22 @@ func (f *PFilter) Build(ctx *exec.Ctx) (exec.Operator, error) {
 		pred = terms[0]
 	}
 	return &exec.Filter{In: in, Pred: pred}, nil
+}
+
+// BuildFragments implements fragSource: every fragment of the child
+// pipeline gets its own Filter with a fresh predicate instance, so the
+// residual filter's per-row CPU runs inside the fragments at the swept
+// DOP instead of as a serial stage above the exchange.
+func (f *PFilter) BuildFragments(ctx *exec.Ctx, dop int) (*fragPipeline, error) {
+	fs, ok := f.In.(fragSource)
+	if !ok {
+		return nil, fmt.Errorf("opt: filter input %T cannot fragment", f.In)
+	}
+	fp, err := fs.BuildFragments(ctx, dop)
+	if err != nil {
+		return nil, err
+	}
+	return wrapFrags(fp, f.wrap)
 }
 
 func (f *PFilter) explain(b *strings.Builder, indent string) {
@@ -458,23 +596,16 @@ func (p *PProject) wrap(in exec.Operator) (exec.Operator, error) {
 // BuildFragments implements fragSource: the child's fragments each get
 // their own copy of the projection, so the whole scan→project pipeline
 // runs inside every worker.
-func (p *PProject) BuildFragments(ctx *exec.Ctx, dop int) ([]exec.Operator, *exec.Morsels, error) {
+func (p *PProject) BuildFragments(ctx *exec.Ctx, dop int) (*fragPipeline, error) {
 	fs, ok := p.In.(fragSource)
 	if !ok {
-		return nil, nil, fmt.Errorf("opt: project input %T cannot fragment", p.In)
+		return nil, fmt.Errorf("opt: project input %T cannot fragment", p.In)
 	}
-	frags, queue, err := fs.BuildFragments(ctx, dop)
+	fp, err := fs.BuildFragments(ctx, dop)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	for i, f := range frags {
-		w, err := p.wrap(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		frags[i] = w
-	}
-	return frags, queue, nil
+	return wrapFrags(fp, p.wrap)
 }
 
 func buildScalar(e *ExprIR, cols []ColRef) (exec.Scalar, error) {
@@ -539,12 +670,14 @@ func (a *PAgg) MaxDOP() int { return max(a.DOP, a.In.MaxDOP()) }
 func (a *PAgg) Build(ctx *exec.Ctx) (exec.Operator, error) {
 	if a.DOP > 1 {
 		if fs, ok := a.In.(fragSource); ok {
-			frags, queue, err := fs.BuildFragments(ctx, a.DOP)
+			fp, err := fs.BuildFragments(ctx, a.DOP)
 			if err != nil {
 				return nil, err
 			}
-			if len(frags) > 1 {
-				return exec.NewPartitionedHashAgg(frags, queue, a.Group, a.Aggs), nil
+			if len(fp.Frags) > 1 {
+				ha := exec.NewPartitionedHashAgg(fp.Frags, fp.Queue, a.Group, a.Aggs)
+				ha.Spawn = fp.Spawn
+				return ha, nil
 			}
 		}
 	}

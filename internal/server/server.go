@@ -41,6 +41,13 @@ type Server struct {
 
 	bills map[string]*tenantBill
 
+	// caches holds one shared prepared-plan cache per tenant: every
+	// connection a tenant opens prepares through its cache, so a fleet of
+	// identical clients parses, binds, and plans each statement once.
+	// Per-tenant (not global) because plan reuse must not couple tenants:
+	// one tenant's epoch invalidations and statistics stay its own.
+	caches map[string]*core.PlanCache
+
 	lnMu   sync.Mutex
 	ln     net.Listener
 	closed bool
@@ -59,7 +66,9 @@ type tenantBill struct {
 // while connections are being served (the embedded path and the served
 // path share one single-threaded engine).
 func New(db *core.DB) *Server {
-	return &Server{db: db, bills: map[string]*tenantBill{}}
+	return &Server{db: db,
+		bills:  map[string]*tenantBill{},
+		caches: map[string]*core.PlanCache{}}
 }
 
 // Listen starts accepting TCP connections on addr (e.g. "127.0.0.1:0")
@@ -173,6 +182,30 @@ func (s *Server) bill(tenant string) *tenantBill {
 		s.bills[tenant] = b
 	}
 	return b
+}
+
+// planCache returns (creating on first use) a tenant's shared prepared
+// statement cache. Callers hold mu.
+func (s *Server) planCache(tenant string) *core.PlanCache {
+	c := s.caches[tenant]
+	if c == nil {
+		c = core.NewPlanCache()
+		s.caches[tenant] = c
+	}
+	return c
+}
+
+// PlanCacheStats sums prepare hits and misses across all tenants' caches
+// — the reuse counter the consolidation benchmarks report.
+func (s *Server) PlanCacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.caches {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
 }
 
 // conn is one connection's protocol state. All fields are touched only
@@ -325,7 +358,7 @@ func (cn *conn) handle(typ byte, body []byte) error {
 			return fmt.Errorf("server: prepare on unknown session %d", sid)
 		}
 		cn.srv.mu.Lock()
-		st, err := sess.Prepare(text)
+		st, err := sess.PrepareCached(cn.srv.planCache(cn.tenant), text)
 		cn.srv.mu.Unlock()
 		if err != nil {
 			return cn.reply(wire.MsgPrepared, wire.AppendU64(fail(nil, err), 0))

@@ -550,3 +550,87 @@ func TestTCPTransport(t *testing.T) {
 	}
 	var _ net.Addr = srv.Addr()
 }
+
+// TestSharedPlanCacheAcrossConnections: connections of one tenant share
+// one prepared-plan cache (the second identical PREPARE is a hit), a
+// second tenant gets its own cache (a fresh miss), and an INSERT that
+// dirties the table invalidates the shared plans through the placement
+// epoch — the cached statement re-executed afterwards sees the new rows.
+func TestSharedPlanCacheAcrossConnections(t *testing.T) {
+	db, err := core.Open(core.Config{Server: hw.SmallServer(2), WALBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db)
+	defer srv.Close()
+
+	dial := func(tenant string) *client.DB {
+		t.Helper()
+		c, err := client.New(srv.Pipe(), tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	// Clients must close before srv.Close can drain its conn goroutines.
+	c1, c2, c3 := dial("acme"), dial("acme"), dial("globex")
+	defer c1.Close()
+	defer c2.Close()
+	defer c3.Close()
+
+	if err := c1.Exec(`CREATE TABLE events (tenant BIGINT, v DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Exec(`INSERT INTO events VALUES (1, 0.5), (2, 1.5)`); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `SELECT COUNT(*) AS n FROM events`
+	count := func(c *client.DB) int64 {
+		t.Helper()
+		sess, err := c.Session()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		rows, err := sess.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, _, err := rows.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab.Column(0).I[0]
+	}
+
+	if n := count(c1); n != 2 {
+		t.Fatalf("first count %d, want 2", n)
+	}
+	if h, m := srv.PlanCacheStats(); h != 0 || m != 1 {
+		t.Fatalf("after first prepare: %d hits / %d misses, want 0/1", h, m)
+	}
+	if n := count(c2); n != 2 {
+		t.Fatalf("shared-cache count %d, want 2", n)
+	}
+	if h, m := srv.PlanCacheStats(); h != 1 || m != 1 {
+		t.Fatalf("same tenant, second conn: %d hits / %d misses, want 1/1", h, m)
+	}
+	if n := count(c3); n != 2 {
+		t.Fatalf("other-tenant count %d, want 2", n)
+	}
+	if h, m := srv.PlanCacheStats(); h != 1 || m != 2 {
+		t.Fatalf("other tenant must miss its own cache: %d hits / %d misses, want 1/2", h, m)
+	}
+
+	// Dirty the table; the shared entry must replan, not replay stale rows.
+	if err := c1.Exec(`INSERT INTO events VALUES (3, 2.5)`); err != nil {
+		t.Fatal(err)
+	}
+	if n := count(c2); n != 3 {
+		t.Fatalf("post-insert count %d, want 3 (stale shared plan?)", n)
+	}
+	if h, m := srv.PlanCacheStats(); h != 2 || m != 2 {
+		t.Fatalf("post-insert reuse: %d hits / %d misses, want 2/2", h, m)
+	}
+}
