@@ -97,6 +97,7 @@ func NewCtx(p *sim.Proc, cpu *hw.CPU) *Ctx {
 // copies), not per-batch churn.
 type VecPool struct {
 	free []*table.Vector
+	inv  vecPoolInv // lifecycle assertions; no-op unless built with -tags ee_invariants
 }
 
 // Get returns a reusable vector retyped to t, or a fresh one with the
@@ -105,6 +106,7 @@ func (p *VecPool) Get(t table.Type, capacity int) *table.Vector {
 	for i, v := range p.free {
 		if v.Type.Physical() == t.Physical() {
 			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.inv.onGet(v)
 			v.Type = t
 			v.Reset()
 			return v
@@ -113,9 +115,12 @@ func (p *VecPool) Get(t table.Type, capacity int) *table.Vector {
 	return table.NewVector(t, capacity)
 }
 
-// Put returns a vector to the free list.
+// Put returns a vector to the free list. The caller gives up ownership:
+// touching v after Put is a contract violation (the pool may hand it to
+// another operator), caught under the ee_invariants build tag.
 func (p *VecPool) Put(v *table.Vector) {
 	if v != nil {
+		p.inv.onPut(v)
 		p.free = append(p.free, v)
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -341,7 +342,7 @@ func TestPartitionedAggFragmentError(t *testing.T) {
 		}
 		agg := NewPartitionedHashAgg(frags, q, nil, []AggSpec{{Func: Count, As: "n"}})
 		_, err := Run(ctx, agg)
-		if err == nil || err.Error() != "fragment exploded" {
+		if !errors.Is(err, errExploded) {
 			t.Errorf("err = %v, want fragment error", err)
 		}
 	})

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"testing"
@@ -337,6 +338,10 @@ func TestParallelScanRaceToIdle(t *testing.T) {
 		t1, e1, t4, e4, t1/t4, e4/e1)
 }
 
+// errExploded is the sentinel errAfterOne fails with; tests assert on it
+// with errors.Is, per the typed-error taxonomy (no message matching).
+var errExploded = errors.New("fragment exploded")
+
 // errAfterOne produces one row then fails, standing in for a fragment
 // hitting e.g. a codec decode error mid-scan.
 type errAfterOne struct {
@@ -349,7 +354,7 @@ func (e *errAfterOne) Open(ctx *Ctx) error   { e.sent = false; return nil }
 func (e *errAfterOne) Close(ctx *Ctx) error  { return nil }
 func (e *errAfterOne) Next(ctx *Ctx) (*table.Batch, error) {
 	if e.sent {
-		return nil, fmt.Errorf("fragment exploded")
+		return nil, errExploded
 	}
 	e.sent = true
 	b := table.NewBatch(e.sch, 1)
@@ -380,7 +385,7 @@ func TestParallelFragmentErrorFailsFast(t *testing.T) {
 			frags = append(frags, cs)
 		}
 		_, err := Run(ctx, NewParallel(frags, q))
-		if err == nil || err.Error() != "fragment exploded" {
+		if !errors.Is(err, errExploded) {
 			t.Errorf("err = %v, want fragment error", err)
 		}
 	})

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"testing"
 
 	"energydb/internal/table"
@@ -293,7 +294,7 @@ func TestParallelProbeFragmentError(t *testing.T) {
 			frags = append(frags, NewProber(sb, cs, 0))
 		}
 		_, err := Run(ctx, NewParallel(frags, q))
-		if err == nil || err.Error() != "fragment exploded" {
+		if !errors.Is(err, errExploded) {
 			t.Errorf("err = %v, want fragment error", err)
 		}
 	})

@@ -1,0 +1,197 @@
+// Package lint is the eelint analyzer suite: static checks that enforce
+// the executor contract (internal/exec/CONTRACT.md) at compile time.
+//
+// The suite is shaped like golang.org/x/tools/go/analysis — named
+// analyzers over a typechecked package, reporting position-anchored
+// diagnostics — but is built on the standard library alone (go/ast,
+// go/types, and a `go list`-driven loader) because the module carries no
+// external dependencies. Each analyzer encodes one CONTRACT.md rule:
+//
+//   - batchretain: a batch borrowed from a child's Next (or its Vecs or
+//     Sel) may not escape into a struct field or package variable without
+//     an intervening Clone/AppendBatch/AppendGather materialisation.
+//   - fragfresh: fragment factories may not capture a shared Pred, fused
+//     kernel, or coordinator Ctx across fragment indices — per-fragment
+//     state is constructed inside the factory.
+//   - errtaxonomy: no err.Error() string comparison anywhere; error
+//     wrapping in the engine packages uses %w (or the fault sentinels)
+//     so errors.Is works across the wire.
+//   - simdeterminism: no wall-clock reads, no unseeded global math/rand,
+//     and no map iteration feeding an ordered output path in the
+//     simulation-deterministic packages.
+//   - chargeowner: marginal-energy charging stays in device/volume code;
+//     simulated processes are spawned through sim.Engine.Go, never
+//     constructed raw, so energy accounts inherit.
+//
+// A diagnostic can be suppressed with a trailing or preceding comment:
+//
+//	//lint:ignore <analyzer> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named contract check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one typechecked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Path is the logical import path used for scope decisions. For
+	// packages loaded from the module it equals Pkg.Path(); fixture
+	// packages under testdata override it to impersonate the package
+	// whose rules they exercise.
+	Path string
+
+	diags   *[]Diagnostic
+	ignores map[string][]ignoreDirective // file name -> directives
+}
+
+// Diagnostic is one reported contract violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+type ignoreDirective struct {
+	line     int
+	analyzer string
+}
+
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)`)
+
+// collectIgnores indexes //lint:ignore directives by file and line. A
+// directive suppresses matching diagnostics on its own line and on the
+// line below it (so it can trail the offending expression or sit on its
+// own line above it).
+func collectIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename],
+					ignoreDirective{line: pos.Line, analyzer: m[1]})
+			}
+		}
+	}
+	return out
+}
+
+func (p *Pass) suppressed(pos token.Position) bool {
+	for _, d := range p.ignores[pos.Filename] {
+		if d.analyzer == p.Analyzer.Name && (d.line == pos.Line || d.line == pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf records a diagnostic at pos unless a //lint:ignore directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// Suite returns every analyzer in the eelint suite, in report order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		BatchRetain,
+		FragFresh,
+		ErrTaxonomy,
+		SimDeterminism,
+		ChargeOwner,
+	}
+}
+
+// RunAnalyzers applies analyzers to one loaded package and returns the
+// diagnostics, sorted by position.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			Path:     pkg.Path,
+			diags:    &diags,
+			ignores:  ignores,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// pathHasPrefix reports whether path is pkg or sits under pkg ("a/b"
+// matches "a/b" and "a/b/c", not "a/bc").
+func pathHasPrefix(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}
+
+// pathInAny reports whether path sits under any of the given prefixes.
+func pathInAny(path string, prefixes ...string) bool {
+	for _, p := range prefixes {
+		if pathHasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BatchRetain enforces the volcano lifetime rule (CONTRACT.md "The one
+// rule" and exec.Operator's doc): a batch returned by a child's Next —
+// and the vectors and selection it references — is valid only until the
+// producer's next Next/Close, because producers reuse their buffers. An
+// operator that stows such a borrowed batch (or b.Vecs / b.Sel) into a
+// struct field or package variable would read recycled memory on the
+// following iteration. Retention requires materialisation first:
+// Clone, AppendBatch, or AppendGather copy the rows into state the
+// consumer owns (NestedLoopJoin's `j.outerB = ob.Clone()` is the
+// canonical legal form).
+//
+// The analysis is a per-function forward scan: values bound from a
+// `*.Next(ctx)` call returning (*table.Batch, error) are borrowed, as
+// are projections of them (b.Vecs, b.Vecs[i], b.Sel); assigning a
+// borrowed value to a struct field, package variable, or an element of
+// a field-held container is flagged unless the right-hand side passes
+// through a materialising call.
+var BatchRetain = &Analyzer{
+	Name: "batchretain",
+	Doc:  "batches borrowed from a child Next may not be stored into fields or globals without Clone/AppendBatch/AppendGather",
+	Run:  runBatchRetain,
+}
+
+func runBatchRetain(pass *Pass) error {
+	funcScope(pass.Files, func(fnNode ast.Node, body *ast.BlockStmt) {
+		borrowed := make(map[types.Object]bool)
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Pos() != fnNode.Pos() {
+				return false // literals get their own visit
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkBatchAssign(pass, as, borrowed)
+			return true
+		})
+	})
+	return nil
+}
+
+func checkBatchAssign(pass *Pass, as *ast.AssignStmt, borrowed map[types.Object]bool) {
+	// Tuple form: b, err := child.Next(ctx).
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isChildNextCall(pass, call) {
+			reportOrMark(pass, as.Lhs[0], borrowed, "the batch returned by a child Next")
+			return
+		}
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		what, isBorrowed := borrowedValue(pass, rhs, borrowed)
+		if !isBorrowed {
+			continue
+		}
+		reportOrMark(pass, as.Lhs[i], borrowed, what)
+	}
+}
+
+// reportOrMark flags lhs when it escapes the function's locals (struct
+// field, package var, or element of one); a plain local binding just
+// propagates the borrow.
+func reportOrMark(pass *Pass, lhs ast.Expr, borrowed map[types.Object]bool, what string) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if isPackageVar(v) {
+				pass.Reportf(lhs.Pos(), "%s escapes into package variable %s; materialise with Clone/AppendBatch/AppendGather first (volcano lifetime rule)", what, v.Name())
+				return
+			}
+			borrowed[v] = true
+		}
+		return
+	}
+	if escapesToField(pass, lhs) {
+		pass.Reportf(lhs.Pos(), "%s escapes into a struct field; materialise with Clone/AppendBatch/AppendGather first (volcano lifetime rule)", what)
+	}
+}
+
+// escapesToField reports whether the assignment target is a struct field
+// or an element reached through one (o.f, o.f[i], globalSlice[i]).
+func escapesToField(pass *Pass, lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && isPackageVar(v) {
+			return true // qualified package-level var (pkg.Var)
+		}
+	case *ast.IndexExpr:
+		return escapesToField(pass, e.X) || isPackageVarExpr(pass, e.X)
+	case *ast.StarExpr:
+		return escapesToField(pass, e.X)
+	}
+	return false
+}
+
+func isPackageVar(v *types.Var) bool {
+	return v.Parent() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func isPackageVarExpr(pass *Pass, e ast.Expr) bool {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+			return isPackageVar(v)
+		}
+	}
+	return false
+}
+
+// borrowedValue decides whether rhs evaluates to borrowed child-batch
+// state, describing it when so. Materialising calls (Clone and friends)
+// launder the value.
+func borrowedValue(pass *Pass, rhs ast.Expr, borrowed map[types.Object]bool) (string, bool) {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && borrowed[v] {
+			return "a batch borrowed from a child Next", true
+		}
+	case *ast.SelectorExpr:
+		// b.Vecs / b.Sel of a borrowed b.
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[base].(*types.Var); ok && borrowed[v] &&
+				(e.Sel.Name == "Vecs" || e.Sel.Name == "Sel") {
+				return "a borrowed batch's " + e.Sel.Name, true
+			}
+		}
+	case *ast.IndexExpr:
+		// b.Vecs[i] of a borrowed b.
+		if what, ok := borrowedValue(pass, e.X, borrowed); ok {
+			return what, true
+		}
+	case *ast.CallExpr:
+		if isChildNextCall(pass, e) {
+			return "the batch returned by a child Next", true
+		}
+		// Any other call — Clone, AppendBatch, a constructor — owns its
+		// result; the borrow does not propagate through it.
+	}
+	return "", false
+}
+
+// isChildNextCall matches method calls named Next returning
+// (*table.Batch, error) — the volcano producer handoff.
+func isChildNextCall(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "Next" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 2 {
+		return false
+	}
+	return namedType(sig.Results().At(0).Type(), pkgTable, "Batch") &&
+		isErrorType(sig.Results().At(1).Type())
+}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChargeOwner enforces the owner-propagated energy accounting rules
+// (CONTRACT.md "Admission and attribution"): per-query attribution holds
+// because (a) only device and volume models credit marginal joules to the
+// account riding on a process, and (b) every process is spawned through
+// sim.Engine.Go, which makes children inherit the spawner's owner. A
+// ChargeJoules call from operator or session code would double-bill the
+// account next to the device's own charge; a raw &sim.Proc{} would carry
+// no owner and silently drop its charges from the attribution sum —
+// exactly the Σ attributed != meter drift the reconciliation tests exist
+// to catch.
+var ChargeOwner = &Analyzer{
+	Name: "chargeowner",
+	Doc:  "marginal-energy charging only from device/volume code; processes spawned via sim.Engine.Go, never constructed raw",
+	Run:  runChargeOwner,
+}
+
+// chargeScope are the packages allowed to call Charger.ChargeJoules:
+// hardware device models, the storage volume layer, and the attribution
+// machinery itself.
+var chargeScope = []string{
+	"energydb/internal/hw",
+	"energydb/internal/storage",
+	"energydb/internal/energy",
+}
+
+func runChargeOwner(pass *Pass) error {
+	chargeAllowed := pathInAny(pass.Path, chargeScope...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if !chargeAllowed && isChargeJoulesCall(pass, e) {
+					pass.Reportf(e.Pos(), "ChargeJoules outside device/volume code; devices charge owners as they charge the meter — charging here double-bills the account")
+				}
+				if isRawProcNew(pass, e) {
+					pass.Reportf(e.Pos(), "raw sim.Proc construction; spawn processes with sim.Engine.Go so energy accounts inherit the owner")
+				}
+			case *ast.CompositeLit:
+				if namedType(pass.TypeOf(e), pkgSim, "Proc") && pass.Path != pkgSim {
+					pass.Reportf(e.Pos(), "raw sim.Proc literal; spawn processes with sim.Engine.Go so energy accounts inherit the owner")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isChargeJoulesCall matches calls of energy.Charger's ChargeJoules —
+// through the interface or any concrete implementation.
+func isChargeJoulesCall(pass *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(pass.Info, call)
+	if f == nil || f.Name() != "ChargeJoules" {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	return namedType(sig.Params().At(0).Type(), pkgEnergy, "Joules")
+}
+
+// isRawProcNew matches new(sim.Proc) outside the sim package.
+func isRawProcNew(pass *Pass, call *ast.CallExpr) bool {
+	if pass.Path == pkgSim {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "new" || !isBuiltin(pass.Info, id) || len(call.Args) != 1 {
+		return false
+	}
+	return namedType(pass.TypeOf(call.Args[0]), pkgSim, "Proc")
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ErrTaxonomy enforces the typed-error taxonomy (CONTRACT.md "Errors,
+// deadlines, and cancellation"): callers branch on errors with
+// errors.Is/errors.As against the internal/fault sentinels, never by
+// string-matching rendered messages — messages carry device names and
+// times and do not survive the wire byte-for-byte. Two rules:
+//
+//  1. Anywhere: the result of err.Error() may not feed a string
+//     comparison (==, !=, switch) or a strings.Contains-family call.
+//  2. In the engine packages (exec, core, server, client, sched, fault):
+//     fmt.Errorf with an error-typed argument must wrap it with %w, so
+//     errors.Is sees through the added context.
+var ErrTaxonomy = &Analyzer{
+	Name: "errtaxonomy",
+	Doc:  "no err.Error() string comparisons; error wrapping must use %w so errors.Is works across the wire",
+	Run:  runErrTaxonomy,
+}
+
+// errWrapScope are the packages whose fmt.Errorf calls must wrap error
+// arguments with %w.
+var errWrapScope = []string{
+	"energydb/internal/exec",
+	"energydb/internal/core",
+	"energydb/internal/server",
+	"energydb/internal/client",
+	"energydb/internal/sched",
+	"energydb/internal/fault",
+}
+
+// stringMatchFuncs are the strings-package predicates that must not
+// consume a rendered error message.
+var stringMatchFuncs = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+func runErrTaxonomy(pass *Pass) error {
+	wrapScoped := pathInAny(pass.Path, errWrapScope...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.BinaryExpr:
+				if e.Op != token.EQL && e.Op != token.NEQ {
+					return true
+				}
+				if isErrErrorCall(pass.Info, e.X) || isErrErrorCall(pass.Info, e.Y) {
+					pass.Reportf(e.Pos(), "string comparison on err.Error(); branch with errors.Is against a fault sentinel instead")
+				}
+			case *ast.SwitchStmt:
+				if e.Tag != nil && isErrErrorCall(pass.Info, e.Tag) {
+					pass.Reportf(e.Tag.Pos(), "switch on err.Error(); branch with errors.Is against a fault sentinel instead")
+				}
+			case *ast.CallExpr:
+				if f := calleeFunc(pass.Info, e); f != nil && f.Pkg() != nil &&
+					f.Pkg().Path() == "strings" && stringMatchFuncs[f.Name()] {
+					for _, arg := range e.Args {
+						if isErrErrorCall(pass.Info, arg) {
+							pass.Reportf(arg.Pos(), "strings.%s on err.Error(); branch with errors.Is against a fault sentinel instead", f.Name())
+						}
+					}
+				}
+				if wrapScoped {
+					checkErrorfWrap(pass, e)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without a %w verb.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgFunc(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return // non-literal format: cannot judge statically
+	}
+	if countWrapVerbs(lit.Value) > 0 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if t := pass.TypeOf(arg); isErrorType(t) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error without %%w; wrap it so errors.Is sees the sentinel")
+			return
+		}
+	}
+}
+
+// countWrapVerbs counts %w verbs in a format string literal, skipping
+// escaped percents.
+func countWrapVerbs(lit string) int {
+	n := 0
+	for i := 0; i+1 < len(lit); i++ {
+		if lit[i] != '%' {
+			continue
+		}
+		if lit[i+1] == '%' {
+			i++
+			continue
+		}
+		// Scan past flags/width to the verb.
+		j := i + 1
+		for j < len(lit) && strings.ContainsRune("+-# 0123456789.[]", rune(lit[j])) {
+			j++
+		}
+		if j < len(lit) && lit[j] == 'w' {
+			n++
+		}
+		i = j - 1
+	}
+	return n
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Well-known import paths the analyzers key off.
+const (
+	pkgTable  = "energydb/internal/table"
+	pkgExec   = "energydb/internal/exec"
+	pkgSim    = "energydb/internal/sim"
+	pkgEnergy = "energydb/internal/energy"
+)
+
+// namedType reports whether t (after pointer unwrapping) is the named
+// type path.name.
+func namedType(t types.Type, path, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// calleeFunc resolves the function or method a call invokes, or nil for
+// calls through function-typed variables, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// path.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Name() != name {
+		return false
+	}
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		return false
+	}
+	return f.Pkg() != nil && f.Pkg().Path() == path
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isErrErrorCall reports whether e is a call of the error interface's
+// Error method — `err.Error()` for any error-typed err.
+func isErrErrorCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	if b, ok := sig.Results().At(0).Type().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	return isErrorType(info.TypeOf(sel.X))
+}
+
+// funcScope walks every function body in the files, handing the enclosing
+// function node (FuncDecl or FuncLit) plus its body to fn.
+func funcScope(files []*ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d, d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// isBuiltin reports whether id resolves to a predeclared builtin.
+func isBuiltin(info *types.Info, id *ast.Ident) bool {
+	_, ok := info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// declaredOutside reports whether obj's declaration lies outside node's
+// source range — i.e. the identifier is a free variable of node.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || obj.Pos() == 0 {
+		return true // universe or imported: defined elsewhere by definition
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() > node.End()
+}

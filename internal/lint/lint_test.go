@@ -1,0 +1,181 @@
+package lint
+
+// The fixture tests follow the analysistest convention: each
+// testdata/<analyzer>/ package is loaded under an impersonated import
+// path (CheckDirAs) and its `// want "regex"` comments must match the
+// analyzer's diagnostics line for line — every want must be hit, every
+// diagnostic must be wanted. TestSuiteCleanAtHead then runs the whole
+// suite over the module itself, pinning the tree at zero violations.
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	loaderOnce sync.Once
+	sharedLd   *Loader
+	loaderErr  error
+)
+
+// testLoader shares one Loader across all tests so the standard library
+// is typechecked once per `go test` process.
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { sharedLd, loaderErr = NewLoader("") })
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return sharedLd
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]*)"`)
+
+type expectation struct {
+	file string // base name
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// collectWants scans the fixture directory's Go files for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			m := wantRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", de.Name(), line, m[1], err)
+			}
+			wants = append(wants, &expectation{file: de.Name(), line: line, re: re})
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return wants
+}
+
+// runFixture loads dir as a package named asPath, runs one analyzer, and
+// checks the diagnostics against the fixture's want comments.
+func runFixture(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	diags := fixtureDiags(t, a, dir, asPath)
+	wants := collectWants(t, dir)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && filepath.Base(d.Pos.Filename) == w.file &&
+				d.Pos.Line == w.line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// runFixtureClean loads dir under asPath and requires zero diagnostics,
+// ignoring any want comments — the scope-exclusion test shape.
+func runFixtureClean(t *testing.T, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	for _, d := range fixtureDiags(t, a, dir, asPath) {
+		t.Errorf("unexpected diagnostic under %s: %s", asPath, d)
+	}
+}
+
+func fixtureDiags(t *testing.T, a *Analyzer, dir, asPath string) []Diagnostic {
+	t.Helper()
+	pkg, err := testLoader(t).CheckDirAs(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+func TestBatchRetainFixture(t *testing.T) {
+	runFixture(t, BatchRetain, "testdata/batchretain", "energydb/internal/exec/fixture")
+}
+
+func TestFragFreshFixture(t *testing.T) {
+	runFixture(t, FragFresh, "testdata/fragfresh", "energydb/internal/exec/fixture")
+}
+
+func TestErrTaxonomyFixture(t *testing.T) {
+	runFixture(t, ErrTaxonomy, "testdata/errtaxonomy", "energydb/internal/exec/fixture")
+}
+
+// Outside the engine packages the %w rule is off; the same analyzer must
+// stay silent on an un-wrapped fmt.Errorf.
+func TestErrTaxonomyOutsideWrapScope(t *testing.T) {
+	runFixtureClean(t, ErrTaxonomy, "testdata/errtaxonomy_noscope", "energydb/internal/wire/fixture")
+}
+
+func TestSimDeterminismFixture(t *testing.T) {
+	runFixture(t, SimDeterminism, "testdata/simdeterminism", "energydb/internal/sim/fixture")
+}
+
+// The same violations are legal outside the simulation-deterministic
+// packages (wire code may read the wall clock).
+func TestSimDeterminismOutsideScope(t *testing.T) {
+	runFixtureClean(t, SimDeterminism, "testdata/simdeterminism", "energydb/internal/wire/fixture")
+}
+
+func TestChargeOwnerFixture(t *testing.T) {
+	runFixture(t, ChargeOwner, "testdata/chargeowner", "energydb/internal/exec/fixture")
+}
+
+// Device-model code is allowed to charge.
+func TestChargeOwnerAllowedScope(t *testing.T) {
+	runFixtureClean(t, ChargeOwner, "testdata/chargeowner_allowed", "energydb/internal/hw/fixture")
+}
+
+// TestSuiteCleanAtHead pins the whole module (tests included) at zero
+// contract violations — the same gate CI's eelint run enforces.
+func TestSuiteCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the entire module")
+	}
+	diags, err := testLoader(t).LoadAndRun(Suite(), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("HEAD is not eelint-clean: %s", d)
+	}
+}

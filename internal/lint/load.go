@@ -1,0 +1,345 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader resolves and typechecks packages the way go/packages would,
+// but with the standard library alone: `go list -json` supplies the file
+// sets and import graphs (build-tag filtered, test variants included) and
+// go/types checks everything from source in dependency order. The module
+// has no external dependencies, so every import resolves to either the
+// module itself or GOROOT source — both present offline.
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path  string // logical import path (scope decisions)
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// Loader memoises typechecked packages across analyzer runs and fixture
+// loads, so the standard library is checked once per process.
+type Loader struct {
+	ModRoot string // module root directory; `go list` runs here
+
+	fset  *token.FileSet
+	metas map[string]*listEntry
+	pkgs  map[string]*loaded
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+// NewLoader returns a loader rooted at the enclosing module of dir (or of
+// the working directory when dir is empty).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{
+		ModRoot: root,
+		fset:    token.NewFileSet(),
+		metas:   make(map[string]*listEntry),
+		pkgs:    make(map[string]*loaded),
+	}, nil
+}
+
+func moduleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("lint: not inside a module (dir %q)", dir)
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// golist runs `go list -json` with the given extra args and folds the
+// resulting entries into the meta index. CGO is disabled so every listed
+// package is pure Go and checkable from source.
+func (l *Loader) golist(args ...string) ([]*listEntry, error) {
+	full := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,CgoFiles,Imports,ImportMap,Standard,ForTest,Error"}, args...)
+	cmd := exec.Command("go", full...)
+	cmd.Dir = l.ModRoot
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(full, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []*listEntry
+	for dec.More() {
+		e := new(listEntry)
+		if err := dec.Decode(e); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		entries = append(entries, e)
+		if _, seen := l.metas[e.ImportPath]; !seen {
+			l.metas[e.ImportPath] = e
+		}
+	}
+	return entries, nil
+}
+
+// Roots lists the analyzable packages matching patterns: test-augmented
+// variants replace their plain package (they are a superset — GoFiles plus
+// in-package test files), external test packages ride along, and compiled
+// test mains are skipped.
+func (l *Loader) Roots(patterns ...string) ([]string, error) {
+	// The -deps listing primes the meta index with the full import graph;
+	// the shallow re-list tells us which entries the patterns themselves
+	// name.
+	if _, err := l.golist(append([]string{"-test", "-deps", "--"}, patterns...)...); err != nil {
+		return nil, err
+	}
+	top, err := l.golist(append([]string{"-test", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	augmented := make(map[string]bool) // plain paths covered by a test variant
+	var roots []string
+	for _, e := range top {
+		if strings.HasSuffix(e.ImportPath, ".test") || len(e.GoFiles) == 0 {
+			continue // compiled test main (its GoFiles live in the build cache)
+		}
+		if e.ForTest != "" {
+			augmented[e.ForTest] = true
+		}
+		roots = append(roots, e.ImportPath)
+	}
+	var out []string
+	for _, ip := range roots {
+		if meta := l.metas[ip]; meta.ForTest == "" && augmented[ip] {
+			continue // the [pkg.test] variant supersedes the plain package
+		}
+		out = append(out, ip)
+	}
+	return out, nil
+}
+
+// LoadPackage typechecks the package with the given `go list` import path
+// (bracketed test-variant paths included).
+func (l *Loader) LoadPackage(importPath string) (*Package, error) {
+	ld := l.check(importPath)
+	if ld.err != nil {
+		return nil, ld.err
+	}
+	return &Package{
+		Path:  logicalPath(importPath),
+		Fset:  l.fset,
+		Files: ld.files,
+		Types: ld.pkg,
+		Info:  ld.info,
+	}, nil
+}
+
+// logicalPath strips the " [pkg.test]" suffix go list puts on test
+// variants, leaving the path analyzers scope against.
+func logicalPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+func (l *Loader) check(importPath string) *loaded {
+	if importPath == "unsafe" {
+		return &loaded{pkg: types.Unsafe}
+	}
+	if ld, ok := l.pkgs[importPath]; ok {
+		return ld
+	}
+	ld := &loaded{}
+	l.pkgs[importPath] = ld // memoise first: import cycles fail fast below
+
+	meta, ok := l.metas[importPath]
+	if !ok {
+		// On-demand resolution for imports outside the initial listing
+		// (fixture packages import freely).
+		if _, err := l.golist("-deps", "--", importPath); err != nil {
+			ld.err = err
+			return ld
+		}
+		if meta, ok = l.metas[importPath]; !ok {
+			ld.err = fmt.Errorf("lint: package %q not found by go list", importPath)
+			return ld
+		}
+	}
+	if meta.Error != nil {
+		ld.err = fmt.Errorf("lint: go list %s: %s", importPath, meta.Error.Err)
+		return ld
+	}
+	var paths []string
+	for _, f := range append(append([]string{}, meta.GoFiles...), meta.CgoFiles...) {
+		if !strings.HasSuffix(f, ".go") {
+			continue // generated test mains list build-cache blobs
+		}
+		paths = append(paths, filepath.Join(meta.Dir, f))
+	}
+	if len(paths) == 0 {
+		ld.err = fmt.Errorf("lint: package %q has no Go files", importPath)
+		return ld
+	}
+	files, err := l.parseFiles(paths)
+	if err != nil {
+		ld.err = err
+		return ld
+	}
+	pkg, info, err := l.typecheck(logicalPath(importPath), meta, files)
+	if err != nil && !meta.Standard {
+		ld.err = err
+		return ld
+	}
+	// Standard-library quirks (assembly-backed declarations, compiler
+	// intrinsics) may typecheck imperfectly from source; an incomplete
+	// stdlib package is still usable as an import.
+	ld.pkg, ld.info, ld.files = pkg, info, files
+	return ld
+}
+
+func (l *Loader) parseFiles(paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// importerFor resolves an import seen while typechecking importer's
+// files: the meta's ImportMap rewrites source-level paths to resolved
+// ones (test variants), then the target is typechecked recursively.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func (l *Loader) typecheck(path string, meta *listEntry, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) {
+			if meta != nil {
+				if mapped, ok := meta.ImportMap[imp]; ok {
+					imp = mapped
+				}
+			}
+			ld := l.check(imp)
+			if ld.err != nil {
+				return nil, ld.err
+			}
+			return ld.pkg, nil
+		}),
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err == nil {
+		err = firstErr
+	}
+	if err != nil {
+		return pkg, info, fmt.Errorf("lint: typechecking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// CheckDirAs parses and typechecks every .go file in dir as one package
+// whose logical import path is asPath — the fixture loader. Imports
+// resolve against the module and the standard library exactly as for
+// listed packages.
+func (l *Loader) CheckDirAs(dir, asPath string) (*Package, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var paths []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, de.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	files, err := l.parseFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := l.typecheck(asPath, nil, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: asPath, Fset: l.fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+// LoadAndRun loads every package matching patterns and applies the
+// analyzers, returning all diagnostics sorted by position.
+func (l *Loader) LoadAndRun(analyzers []*Analyzer, patterns ...string) ([]Diagnostic, error) {
+	roots, err := l.Roots(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, ip := range roots {
+		pkg, err := l.LoadPackage(ip)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, ds...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimDeterminism protects the simulation's bit-identity guarantee
+// (CONTRACT.md "Determinism"): the same program and seeds must produce
+// identical results, timings and joules at any DOP. In the packages that
+// execute under the simulated clock — exec, opt, sim, sched, energy —
+// three nondeterminism sources are banned:
+//
+//  1. Wall-clock reads (time.Now, time.Since): simulated code asks the
+//     engine (sim.Engine.Now / Proc.Now) for time.
+//  2. The global math/rand source (rand.Intn, rand.Shuffle, ...): all
+//     randomness flows from explicit seeded rand.New(rand.NewSource(s)).
+//  3. Map iteration that feeds an ordered output path (append, channel
+//     send, or return inside the range body) — Go randomises map order,
+//     so results would differ run to run. Collect-then-sort is the
+//     sanctioned idiom: a loop whose collected slice is passed to a
+//     sort.*/slices.Sort* call later in the same function is clean.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "no wall-clock, no unseeded math/rand, no map-iteration order leaking into results in simulation-deterministic packages",
+	Run:  runSimDeterminism,
+}
+
+var simDetScope = []string{
+	"energydb/internal/exec",
+	"energydb/internal/opt",
+	"energydb/internal/sim",
+	"energydb/internal/sched",
+	"energydb/internal/energy",
+}
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the process-global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "N": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	if !pathInAny(pass.Path, simDetScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock; simulated code must use the engine clock (sim.Engine.Now)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] && fn.Type().(*types.Signature).Recv() == nil {
+					pass.Reportf(call.Pos(), "rand.%s draws from the unseeded global source; use a seeded rand.New(rand.NewSource(seed))", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	checkMapIterationOrder(pass)
+	return nil
+}
+
+// checkMapIterationOrder flags range-over-map loops whose body emits in
+// iteration order, unless the collected slice is sorted afterwards in the
+// same function.
+func checkMapIterationOrder(pass *Pass) {
+	funcScope(pass.Files, func(fnNode ast.Node, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Pos() != fnNode.Pos() {
+				return false // nested literals get their own funcScope visit
+			}
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypeOf(rng.X); t == nil || !isMapType(t) {
+				return true
+			}
+			emits, appendTargets := scanRangeBody(pass, rng)
+			if !emits {
+				return true
+			}
+			if sortedAfter(pass, body, rng, appendTargets) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration order feeds an emit path; iterate sorted keys or sort the collected slice before use")
+			return true
+		})
+	})
+}
+
+func isMapType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// scanRangeBody looks for order-leaking statements inside a range body:
+// appends, channel sends, and returns whose payload derives from the
+// iteration variables. Order-independent bodies (summing into a scalar,
+// counting, deleting keys) stay clean.
+func scanRangeBody(pass *Pass, rng *ast.RangeStmt) (emits bool, appendTargets map[types.Object]bool) {
+	appendTargets = make(map[types.Object]bool)
+	tainted := rangeVarObjects(pass, rng)
+	// Two propagation passes: a var assigned from a tainted expression is
+	// itself tainted (one level of indirection covers the common
+	// `x := v.field; out = append(out, x)` shape).
+	for pass2 := 0; pass2 < 2; pass2++ {
+		ast.Inspect(rng.Body, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for i, rhs := range as.Rhs {
+					if i < len(as.Lhs) && refsAny(pass, rhs, tainted) {
+						if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								tainted[obj] = true
+							} else if obj := pass.Info.Uses[id]; obj != nil {
+								tainted[obj] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if refsAny(pass, r, tainted) {
+					emits = true
+				}
+			}
+		case *ast.SendStmt:
+			if refsAny(pass, s.Value, tainted) {
+				emits = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass.Info, id) {
+				// Builtin append (not a shadowing user function).
+				taintedArg := false
+				for _, a := range s.Args[1:] {
+					if refsAny(pass, a, tainted) {
+						taintedArg = true
+					}
+				}
+				if taintedArg && len(s.Args) > 0 {
+					emits = true
+					if base := rootIdent(s.Args[0]); base != nil {
+						appendTargets[pass.Info.Uses[base]] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return emits, appendTargets
+}
+
+// rangeVarObjects returns the objects bound to the range statement's key
+// and value variables.
+func rangeVarObjects(pass *Pass, rng *ast.RangeStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = true
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	return out
+}
+
+// refsAny reports whether expression e references any of the given
+// objects.
+func refsAny(pass *Pass, e ast.Expr, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.Info.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfter reports whether, after the range loop, the function sorts
+// one of the slices the loop appended to (sort.* / slices.Sort*).
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, targets map[types.Object]bool) bool {
+	if len(targets) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if base := rootIdent(arg); base != nil && targets[pass.Info.Uses[base]] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootIdent digs the base identifier out of expressions like x,
+// x.f, x[i], or &x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the batchretain analyzer: a batch borrowed
+// from a child's Next (or its Vecs/Sel) must not escape into a struct
+// field or package variable without materialisation.
+package fixture
+
+import (
+	"energydb/internal/exec"
+	"energydb/internal/table"
+)
+
+var stash *table.Batch
+
+type op struct {
+	child exec.Operator
+	saved *table.Batch
+	vecs  []*table.Vector
+	sel   []int32
+}
+
+func (o *op) storesBorrow(ctx *exec.Ctx) error {
+	b, err := o.child.Next(ctx)
+	if err != nil {
+		return err
+	}
+	o.saved = b     // want "escapes into a struct field"
+	o.vecs = b.Vecs // want "escapes into a struct field"
+	o.sel = b.Sel   // want "escapes into a struct field"
+	stash = b       // want "escapes into package variable"
+	return nil
+}
+
+func (o *op) storesThroughAlias(ctx *exec.Ctx) error {
+	b, _ := o.child.Next(ctx)
+	tmp := b      // the borrow propagates through local bindings
+	o.saved = tmp // want "escapes into a struct field"
+	return nil
+}
+
+func (o *op) legal(ctx *exec.Ctx) (*table.Batch, error) {
+	b, err := o.child.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	o.saved = b.Clone() // materialised copy: the consumer owns it
+	local := b          // plain local binding within the iteration: fine
+	_ = local
+	return b, nil // passing the borrow up the tree is the volcano protocol
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the chargeowner analyzer under a path
+// outside the device/volume packages: ChargeJoules calls and raw
+// sim.Proc construction are both violations here.
+package fixture
+
+import (
+	"energydb/internal/energy"
+	"energydb/internal/sim"
+)
+
+func badChargeConcrete(acct *energy.Account, j energy.Joules) {
+	acct.ChargeJoules(j) // want "ChargeJoules outside device/volume code"
+}
+
+func badChargeInterface(c energy.Charger, j energy.Joules) {
+	c.ChargeJoules(j) // want "ChargeJoules outside device/volume code"
+}
+
+func badProcLiteral() *sim.Proc {
+	return &sim.Proc{} // want "raw sim.Proc literal"
+}
+
+func badProcNew() *sim.Proc {
+	return new(sim.Proc) // want "raw sim.Proc construction"
+}
+
+func goodSpawn(e *sim.Engine) *sim.Proc {
+	return e.Go("worker", func(p *sim.Proc) {}) // owner inherits from the spawner
+}

@@ -1,0 +1,9 @@
+// Package fixture is loaded under a device-model path, where marginal
+// charging is the sanctioned pattern; the analyzer must stay silent.
+package fixture
+
+import "energydb/internal/energy"
+
+func deviceCharge(c energy.Charger, j energy.Joules) {
+	c.ChargeJoules(j) // legal: device models charge owners as they charge the meter
+}

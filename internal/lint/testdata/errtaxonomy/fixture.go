@@ -1,0 +1,53 @@
+// Package fixture exercises the errtaxonomy analyzer: no string
+// comparisons on err.Error(), and (in the engine packages this fixture
+// impersonates) fmt.Errorf must wrap error arguments with %w.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errSentinel = errors.New("boom")
+
+func badEqual(err error) bool {
+	return err.Error() == "boom" // want "string comparison on err.Error"
+}
+
+func badNotEqual(err error) bool {
+	return "boom" != err.Error() // want "string comparison on err.Error"
+}
+
+func badSwitch(err error) int {
+	switch err.Error() { // want "switch on err.Error"
+	case "boom":
+		return 1
+	}
+	return 0
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "boom") // want "strings.Contains on err.Error"
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want "fmt.Errorf formats an error without"
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("op failed: %w", err)
+}
+
+func goodIs(err error) bool {
+	return errors.Is(err, errSentinel)
+}
+
+func goodMessageUse(err error) string {
+	return "prefix: " + err.Error() // rendering for display is fine; only matching is banned
+}
+
+func suppressedCompare(err error) bool {
+	//lint:ignore errtaxonomy fixture exercises the suppression directive
+	return err.Error() == "boom"
+}

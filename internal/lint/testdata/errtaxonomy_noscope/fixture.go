@@ -1,0 +1,10 @@
+// Package fixture is loaded under a path outside the engine packages:
+// the %w wrapping rule must not fire here (err.Error() matching is
+// banned everywhere, so none appears in this file).
+package fixture
+
+import "fmt"
+
+func wrapOutsideScope(err error) error {
+	return fmt.Errorf("wire: %v", err) // legal: wire is outside the wrap scope
+}

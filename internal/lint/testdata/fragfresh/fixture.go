@@ -1,0 +1,60 @@
+// Package fixture exercises the fragfresh analyzer: fragment factories
+// and fragment-array loops must construct per-fragment Pred/kernel/Ctx
+// state fresh instead of sharing one instance across fragments.
+package fixture
+
+import "energydb/internal/exec"
+
+func filterOp(p exec.Pred) exec.Operator { return nil }
+
+func badPredFactory(shared exec.Pred) func() (exec.Operator, error) {
+	return func() (exec.Operator, error) {
+		return filterOp(shared), nil // want "captures shared Pred"
+	}
+}
+
+func badKernelFactory(k *exec.FusedExpr) func() exec.Operator {
+	return func() exec.Operator {
+		_ = k // want "captures shared fused kernel"
+		return nil
+	}
+}
+
+func badCtxFactory(ctx *exec.Ctx) func() (exec.Operator, error) {
+	return func() (exec.Operator, error) {
+		_ = ctx // want "captures shared Ctx"
+		return nil, nil
+	}
+}
+
+func goodFactory(mkPred func() exec.Pred) func() (exec.Operator, error) {
+	return func() (exec.Operator, error) {
+		p := mkPred() // fresh instance per fragment: legal
+		return filterOp(p), nil
+	}
+}
+
+func badIndexLoop(n int, shared exec.Pred) []exec.Operator {
+	frags := make([]exec.Operator, n)
+	for i := range frags {
+		frags[i] = filterOp(shared) // want "shares one Pred"
+	}
+	return frags
+}
+
+func badAppendLoop(n int, shared exec.Pred) []exec.Operator {
+	var frags []exec.Operator
+	for i := 0; i < n; i++ {
+		frags = append(frags, filterOp(shared)) // want "shares one Pred"
+	}
+	return frags
+}
+
+func goodLoop(n int, mkPred func() exec.Pred) []exec.Operator {
+	frags := make([]exec.Operator, n)
+	for i := range frags {
+		p := mkPred() // constructed inside the loop body: legal
+		frags[i] = filterOp(p)
+	}
+	return frags
+}

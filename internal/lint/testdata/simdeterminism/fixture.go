@@ -1,0 +1,58 @@
+// Package fixture exercises the simdeterminism analyzer: no wall-clock
+// reads, no unseeded global math/rand, and no map iteration order
+// leaking into emitted results in the simulation-deterministic packages.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() time.Duration {
+	t := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(t) // want "time.Since reads the wall clock"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the unseeded global source"
+}
+
+func goodSeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seeded source: legal
+	return r.Intn(10)
+}
+
+func badMapEmit(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order feeds an emit path"
+		out = append(out, k)
+	}
+	return out
+}
+
+func badMapReturn(m map[string]int) string {
+	for k, v := range m { // want "map iteration order feeds an emit path"
+		if v > 0 {
+			return k
+		}
+	}
+	return ""
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m { // sanctioned idiom: the collected slice is sorted below
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodOrderIndependent(m map[string]int) int {
+	total := 0
+	for _, v := range m { // folding into a scalar is order-independent
+		total += v
+	}
+	return total
+}

@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"energydb/internal/exec"
@@ -43,12 +44,14 @@ func (c *Catalog) Get(name string) (*Placement, error) {
 	return p, nil
 }
 
-// Names lists registered relations.
+// Names lists registered relations, sorted: callers emit the list (plan
+// diagnostics, catalogs in explain output), so map order must not leak.
 func (c *Catalog) Names() []string {
 	out := make([]string, 0, len(c.rels))
 	for n := range c.rels {
 		out = append(out, n)
 	}
+	sort.Strings(out)
 	return out
 }
 

@@ -14,9 +14,14 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrDeadlock is the sentinel Run wraps when processes remain blocked with
+// no event left to wake them; match with errors.Is, not the message.
+var ErrDeadlock = errors.New("sim: deadlock")
 
 // event is a scheduled callback. Events with equal time fire in schedule
 // order (seq), which keeps the simulation deterministic.
@@ -127,7 +132,7 @@ func (e *Engine) Run() error {
 		e.step()
 	}
 	if e.live > 0 {
-		return fmt.Errorf("sim: deadlock: %d process(es) blocked forever: %v", e.live, e.blockedNames())
+		return fmt.Errorf("%w: %d process(es) blocked forever: %v", ErrDeadlock, e.live, e.blockedNames())
 	}
 	return nil
 }

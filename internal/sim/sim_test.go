@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -194,7 +195,7 @@ func TestDeadlockDetection(t *testing.T) {
 		r.Acquire(p, 1)
 	})
 	err := e.Run()
-	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+	if !errors.Is(err, ErrDeadlock) {
 		t.Fatalf("expected deadlock error, got %v", err)
 	}
 }

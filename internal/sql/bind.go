@@ -1,12 +1,17 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 
 	"energydb/internal/exec"
 	"energydb/internal/opt"
 	"energydb/internal/table"
 )
+
+// ErrDuplicateAlias is the sentinel Bind wraps when two FROM items share an
+// alias; match with errors.Is, not the message.
+var ErrDuplicateAlias = errors.New("sql: duplicate alias")
 
 // SchemaLookup resolves a relation name to its schema.
 type SchemaLookup func(rel string) (*table.Schema, bool)
@@ -153,7 +158,7 @@ func (b *binder) bindTables() error {
 			return fmt.Errorf("sql: unknown table %q", tr.Name)
 		}
 		if _, dup := b.rels[tr.Alias]; dup {
-			return fmt.Errorf("sql: duplicate alias %q", tr.Alias)
+			return fmt.Errorf("%w %q", ErrDuplicateAlias, tr.Alias)
 		}
 		b.aliases = append(b.aliases, tr.Alias)
 		b.rels[tr.Alias] = tr.Name

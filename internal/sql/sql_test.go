@@ -1,7 +1,7 @@
 package sql
 
 import (
-	"strings"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -254,7 +254,7 @@ func TestBindErrors(t *testing.T) {
 
 func TestBindDuplicateAlias(t *testing.T) {
 	sel := mustBind(t, "SELECT 1 FROM orders o, customer o")
-	if _, err := Bind(sel, testSchemas()); err == nil || !strings.Contains(err.Error(), "duplicate alias") {
+	if _, err := Bind(sel, testSchemas()); !errors.Is(err, ErrDuplicateAlias) {
 		t.Fatalf("err = %v", err)
 	}
 }

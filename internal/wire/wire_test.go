@@ -96,6 +96,7 @@ func TestTypedErrorRoundTrip(t *testing.T) {
 				t.Fatalf("decoded %v also matches %v", want, other)
 			}
 		}
+		//lint:ignore errtaxonomy the round-trip test asserts the codec preserves the message verbatim
 		if back.Error() != wrapped.Error() {
 			t.Fatalf("message %q != %q", back.Error(), wrapped.Error())
 		}
